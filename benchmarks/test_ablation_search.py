@@ -1,0 +1,46 @@
+"""Ablation of section 4.1's claim: baseline search time grows
+quadratically with datatype size; the dual-context engine's look-ahead cost
+is linear (constant per pipeline stage)."""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.bench.harness import FigureData, print_figure
+from repro.datatypes import DOUBLE, DualContextEngine, SingleContextEngine, Vector
+from repro.util import CostModel
+
+COST = CostModel(cpu_noise=0.0)
+
+
+def sweep():
+    fig = FigureData(
+        "Ablation-4.1", "Datatype-processing CPU time vs block count (usec)",
+        ["blocks", "single-ctx search", "dual-ctx lookahead", "pack (both)"],
+    )
+    # sizes start well past one pipeline chunk (2048 blocks) so every point
+    # has a non-zero search term and the asymptotic exponent is visible
+    for nblocks in (16_000, 32_000, 64_000, 128_000, 256_000):
+        dt = Vector(nblocks, 1, 2, DOUBLE)
+        stages_s = SingleContextEngine(dt.flatten(), COST).plan()
+        stages_d = DualContextEngine(dt.flatten(), COST).plan()
+        fig.add_row(
+            nblocks,
+            sum(s.search_s for s in stages_s) * 1e6,
+            sum(s.lookahead_s for s in stages_d) * 1e6,
+            sum(s.pack_s for s in stages_d) * 1e6,
+        )
+    return fig
+
+
+def test_search_quadratic_vs_linear(benchmark):
+    fig = run_once(benchmark, sweep)
+    print_figure(fig)
+    blocks = np.array(fig.column("blocks"), dtype=float)
+    search = np.array(fig.column("single-ctx search"))
+    look = np.array(fig.column("dual-ctx lookahead"))
+    # fit growth exponents on log-log: search ~ quadratic, look-ahead ~ linear
+    exp_search = np.polyfit(np.log(blocks), np.log(search), 1)[0]
+    exp_look = np.polyfit(np.log(blocks), np.log(look), 1)[0]
+    assert 1.8 < exp_search < 2.2, exp_search
+    assert 0.8 < exp_look < 1.2, exp_look

@@ -1,0 +1,61 @@
+"""Per-optimisation ablations: each of the paper's three designs toggled
+independently on the workload it targets (DESIGN.md section 4)."""
+
+from conftest import run_once
+
+from repro.apps.allgatherv_bench import allgatherv_benchmark
+from repro.apps.alltoallw_bench import alltoallw_ring_benchmark
+from repro.apps.transpose import transpose_benchmark
+from repro.bench.harness import FigureData, print_figure
+from repro.mpi import MPIConfig
+
+BASE = MPIConfig.baseline()
+
+
+def sweep():
+    fig = FigureData(
+        "Ablations", "Per-optimisation latency on its target workload (usec)",
+        ["optimisation", "workload", "off", "on", "improvement %"],
+    )
+
+    # 4.1 dual-context engine on the 512x512 transpose
+    off = transpose_benchmark(512, BASE).latency
+    on = transpose_benchmark(512, BASE.with_(dual_context_engine=True)).latency
+    fig.add_row("dual-context engine", "transpose 512^2",
+                off * 1e6, on * 1e6, (1 - on / off) * 100)
+
+    # 4.2.1 adaptive allgatherv on the 32KB-outlier workload, 64 procs
+    off = allgatherv_benchmark(64, 4096, BASE).latency
+    on = allgatherv_benchmark(64, 4096, BASE.with_(adaptive_allgatherv=True)).latency
+    fig.add_row("adaptive allgatherv", "outlier 32KB@64p",
+                off * 1e6, on * 1e6, (1 - on / off) * 100)
+
+    # 4.2.2 binned alltoallw on the ring-neighbour workload, 64 procs
+    off = alltoallw_ring_benchmark(64, BASE).latency
+    on = alltoallw_ring_benchmark(64, BASE.with_(binned_alltoallw=True)).latency
+    fig.add_row("binned alltoallw", "ring neighbours@64p",
+                off * 1e6, on * 1e6, (1 - on / off) * 100)
+    return fig
+
+
+def test_each_optimisation_helps_its_workload(benchmark):
+    fig = run_once(benchmark, sweep)
+    print_figure(fig)
+    for row in fig.rows:
+        name, _workload, off, on, impr = row
+        assert impr > 20.0, (name, impr)
+
+
+def test_optimisations_do_not_interfere(benchmark):
+    """All three together on the alltoallw workload: at least as good as
+    binning alone (the other toggles must not regress it)."""
+
+    def run():
+        alone = alltoallw_ring_benchmark(
+            32, BASE.with_(binned_alltoallw=True)
+        ).latency
+        full = alltoallw_ring_benchmark(32, MPIConfig.optimized()).latency
+        return alone, full
+
+    alone, full = run_once(benchmark, run)
+    assert full <= alone * 1.05

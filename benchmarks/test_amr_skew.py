@@ -1,0 +1,34 @@
+"""Future-work study (paper section 7): FLASH-style AMR with load-balancing
+skew, baseline vs optimised MPI across system sizes."""
+
+from conftest import run_once
+
+from repro.apps.amr_skew import AMRConfig, amr_skew_benchmark
+from repro.bench.harness import FigureData, improvement, print_figure
+from repro.mpi import MPIConfig
+
+
+def sweep():
+    fig = FigureData(
+        "AMR", "FLASH-style AMR time per step (usec)",
+        ["procs", "MVAPICH2-0.9.5", "MVAPICH2-New", "improvement %"],
+    )
+    params = AMRConfig(blocks_per_dim=8, steps=4)
+    for p in (4, 8, 16, 32, 64):
+        rb = amr_skew_benchmark(p, MPIConfig.baseline(), params=params)
+        ro = amr_skew_benchmark(p, MPIConfig.optimized(), params=params)
+        assert rb.correct and ro.correct
+        fig.add_row(
+            p, rb.time_per_step * 1e6, ro.time_per_step * 1e6,
+            improvement(rb.time_per_step, ro.time_per_step),
+        )
+    return fig
+
+
+def test_amr_skew_study(benchmark):
+    fig = run_once(benchmark, sweep)
+    print_figure(fig)
+    impr = fig.column("improvement %")
+    # the optimised stack wins, and by more at scale (sparser pattern)
+    assert impr[-1] > impr[0]
+    assert impr[-1] > 30.0

@@ -1,0 +1,28 @@
+"""Fig. 12: matrix-transpose latency, baseline vs optimised datatype engine.
+
+Paper shape: the baseline grows much faster with matrix size than the
+optimised implementation; at 1024x1024 the optimisation gives over 85%
+improvement, and the gap keeps widening.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures, print_figure
+
+
+def test_fig12_transpose(benchmark):
+    fig = run_once(benchmark, figures.fig12)
+    print_figure(fig)
+    impr = fig.column("improvement %")
+    sizes = fig.column("matrix")
+    by_size = dict(zip(sizes, impr))
+    # improvement grows monotonically with matrix size
+    assert all(b >= a for a, b in zip(impr, impr[1:])), impr
+    # paper: >85% at 1024x1024
+    assert by_size["1024x1024"] > 85.0
+    # baseline grows super-linearly: 4x the size -> much more than 4x the time
+    base = fig.column("MVAPICH2-0.9.5")
+    assert base[-1] / base[-3] > 16  # 256 -> 1024 is 16x the elements
+    # the optimised engine stays roughly linear in the payload
+    opt = fig.column("MVAPICH2-New")
+    assert opt[-1] / opt[-3] < 32

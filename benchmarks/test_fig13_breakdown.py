@@ -1,0 +1,26 @@
+"""Fig. 13: transpose time breakdown (comm / pack / search).
+
+Paper shape: under the baseline engine the search share grows dramatically
+with matrix size until it dominates; the dual-context engine eliminates the
+search entirely, leaving communication (and packing) to dominate.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures, print_figure
+
+
+def test_fig13_breakdown(benchmark):
+    fig_a, fig_b = run_once(benchmark, figures.fig13)
+    print_figure(fig_a)
+    print_figure(fig_b)
+    search_a = fig_a.column("search %")
+    # baseline: search share strictly increases and ends dominant
+    assert all(b > a for a, b in zip(search_a, search_a[1:])), search_a
+    assert search_a[-1] > 80.0
+    # optimised: no search time at any size
+    search_b = fig_b.column("search %")
+    assert all(s == 0.0 for s in search_b), search_b
+    # optimised: communication is a large share at every size
+    comm_b = fig_b.column("comm %")
+    assert all(c > 30.0 for c in comm_b), comm_b

@@ -1,0 +1,47 @@
+"""Fig. 14: MPI_Allgatherv with one outlier contribution.
+
+Paper shape: (a) with 64 processes, the baseline's latency grows faster
+with rank 0's message size than the optimised implementation's; (b) at a
+fixed 32 KB outlier, the baseline grows faster with the number of
+processes (the ring serialises the big block over N-1 hops, the adaptive
+algorithm moves it along a binomial tree).
+"""
+
+from conftest import run_once
+
+from repro.bench import figures, print_figure
+
+
+def test_fig14a_varying_problem_size(benchmark):
+    fig = run_once(benchmark, figures.fig14a)
+    print_figure(fig)
+    base = fig.column("MVAPICH2-0.9.5")
+    opt = fig.column("MVAPICH2-New")
+    # below the long-message threshold the two configurations coincide
+    assert base[0] == opt[0]
+    # once the ring regime is reached the optimisation wins decisively
+    assert fig.column("improvement %")[-1] > 50.0
+    # the baseline's growth from 4K to 16K doubles is ~4x (linear in the
+    # outlier), and the optimised path grows no faster
+    assert base[-1] / base[-2] > 3.0
+    assert opt[-1] / opt[-2] <= base[-1] / base[-2] + 0.5
+
+
+def test_fig14b_varying_system_size(benchmark):
+    fig = run_once(benchmark, figures.fig14b)
+    print_figure(fig)
+    base = fig.column("MVAPICH2-0.9.5")
+    opt = fig.column("MVAPICH2-New")
+    procs = fig.column("procs")
+    # baseline scales ~linearly with N (ring: N-1 hops for the big block)
+    ratio_base = base[-1] / base[-3]  # 16 -> 64 procs
+    assert ratio_base > 3.0
+    # optimised scales ~logarithmically
+    ratio_opt = opt[-1] / opt[-3]
+    assert ratio_opt < 2.0
+    # paper: clear improvement at 64 procs / 32 KB
+    impr = dict(zip(procs, fig.column("improvement %")))
+    assert impr[64] > 20.0
+    # improvement grows with system size
+    vals = fig.column("improvement %")
+    assert all(b >= a - 1e-9 for a, b in zip(vals[1:], vals[2:])), vals

@@ -1,0 +1,28 @@
+"""Fig. 15: MPI_Alltoallw ring-neighbour exchange.
+
+Paper shape: the baseline degrades linearly with system size (it posts
+zero-byte messages to every non-partner, each a synchronisation step that
+also picks up inter-cluster skew); the optimised binned implementation is
+flat.  Paper numbers: ~50% improvement at 32 procs (one homogeneous
+cluster), over 88% at 128 procs (both clusters, natural skew).
+"""
+
+from conftest import run_once
+
+from repro.bench import figures, print_figure
+
+
+def test_fig15_alltoallw(benchmark):
+    fig = run_once(benchmark, figures.fig15)
+    print_figure(fig)
+    procs = fig.column("procs")
+    base = dict(zip(procs, fig.column("MVAPICH2-0.9.5")))
+    opt = dict(zip(procs, fig.column("MVAPICH2-New")))
+    impr = dict(zip(procs, fig.column("improvement %")))
+    # paper: ~50% at 32 procs, >88% at 128 procs
+    assert impr[32] > 50.0
+    assert impr[128] > 88.0
+    # baseline grows roughly linearly with N
+    assert base[128] / base[16] > 4.0
+    # optimised stays flat: partners don't multiply with N
+    assert opt[128] / opt[4] < 2.0

@@ -1,0 +1,33 @@
+"""Fig. 16: the PETSc vector-scatter benchmark (three implementations).
+
+Paper shape: at scale the optimised-MPI datatype path improves on the
+baseline MPI by >95% (we reproduce >90%), and the hand-tuned implementation
+stays slightly (a few percent) ahead of the optimised datatype path --
+the paper's argument that MPI datatypes + collectives become a viable,
+simpler alternative once the MPI library handles nonuniformity well.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures, print_figure
+
+
+def test_fig16_vecscatter(benchmark):
+    fig = run_once(benchmark, figures.fig16)
+    print_figure(fig)
+    procs = fig.column("procs")
+    hand = dict(zip(procs, fig.column("hand-tuned")))
+    base = dict(zip(procs, fig.column("MVAPICH2-0.9.5")))
+    opt = dict(zip(procs, fig.column("MVAPICH2-New")))
+    impr = dict(zip(procs, fig.column("new improvement %")))
+    # paper: >95% at 128 procs; we require >90%
+    assert impr[128] > 90.0
+    # improvement grows with system size
+    vals = fig.column("new improvement %")
+    assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:])), vals
+    # hand-tuned beats the optimised datatype path by only a few percent
+    for p in procs:
+        gap = (opt[p] - hand[p]) / opt[p] * 100.0
+        assert 0.0 <= gap < 10.0, (p, gap)
+    # the baseline is the clear loser at scale
+    assert base[128] > 5 * opt[128]

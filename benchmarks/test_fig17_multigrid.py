@@ -1,0 +1,44 @@
+"""Fig. 17: the 3-D Laplacian multigrid solver application, 100^3 grid,
+three levels, up to 128 processes.
+
+Paper shape: the optimised implementation keeps scaling to 128 processes
+while the baseline *stops scaling past 32* (its execution time starts
+rising again); improvement approaches ~90% at 128.  Hand-tuned is ~10%
+ahead of the optimised path at 4 processes, shrinking to under a few
+percent at 128.
+
+This is the most expensive benchmark in the suite (a couple of minutes of
+wall time for the 128-rank baseline point).
+"""
+
+from conftest import run_once
+
+from repro.bench import figures, print_figure
+
+
+def test_fig17_multigrid(benchmark):
+    fig = run_once(benchmark, figures.fig17)
+    print_figure(fig)
+    procs = fig.column("procs")
+    hand = dict(zip(procs, fig.column("hand-tuned")))
+    base = dict(zip(procs, fig.column("MVAPICH2-0.9.5")))
+    opt = dict(zip(procs, fig.column("MVAPICH2-New")))
+    # the baseline stops scaling: its 128-proc time exceeds its 32-proc time
+    assert base[128] > base[32]
+    # the optimised implementation keeps improving (or at least holds) as
+    # the machine grows beyond one cluster
+    assert opt[128] < opt[32] * 1.10
+    # headline: large improvement at 128 processes
+    impr_128 = (1 - opt[128] / base[128]) * 100
+    assert impr_128 > 50.0, impr_128
+    # improvement grows with scale
+    impr = [(1 - o / b) * 100 for o, b in zip(
+        fig.column("MVAPICH2-New"), fig.column("MVAPICH2-0.9.5"))]
+    assert impr[-1] > impr[0]
+    # hand-tuned stays only a few percent ahead of the optimised datatype
+    # path at every scale (the paper's "may be a desirable trade-off"
+    # argument; see EXPERIMENTS.md for the small shape deviation in how the
+    # gap evolves with scale)
+    for p in procs:
+        gap = (opt[p] - hand[p]) / opt[p]
+        assert -0.02 <= gap < 0.10, (p, gap)

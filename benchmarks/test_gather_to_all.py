@@ -1,0 +1,71 @@
+"""PETSc-level consequence of the adaptive Allgatherv (section 4.2.1):
+``Vec.gather_to_all`` with an unbalanced layout.
+
+When one rank owns most of a vector (common after adaptive refinement or
+boundary-heavy layouts), gathering it everywhere is exactly the
+one-big-contribution Allgatherv of Fig. 14 -- the baseline ring serialises
+the big block, the adaptive algorithm does not."""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.bench.harness import FigureData, improvement, print_figure
+from repro.mpi import Cluster, MPIConfig
+from repro.petsc import Layout, Vec
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def gather_latency(nprocs: int, config, skewed: bool) -> float:
+    big = 8192
+    small = 16
+    if skewed:
+        sizes = [big] + [small] * (nprocs - 1)
+    else:
+        total = big + small * (nprocs - 1)
+        base = total // nprocs
+        sizes = [base + (1 if r < total % nprocs else 0) for r in range(nprocs)]
+    gsize = sum(sizes)
+    cluster = Cluster(nprocs, config=config, cost=QUIET, heterogeneous=False)
+
+    def main(comm):
+        v = Vec(comm, Layout(comm.size, gsize, sizes))
+        start, end = v.owned_range
+        v.local[:] = np.arange(start, end, dtype=np.float64)
+        yield from comm.barrier()
+        t0 = comm.engine.now
+        full = yield from v.gather_to_all()
+        elapsed = comm.engine.now - t0
+        assert np.array_equal(full, np.arange(gsize, dtype=np.float64))
+        return elapsed
+
+    return max(cluster.run(main))
+
+
+def sweep():
+    fig = FigureData(
+        "GatherToAll", "Vec.gather_to_all latency, unbalanced layout (usec)",
+        ["procs", "MVAPICH2-0.9.5", "MVAPICH2-New", "improvement %",
+         "balanced baseline"],
+    )
+    for p in (4, 8, 16, 32, 64):
+        tb = gather_latency(p, MPIConfig.baseline(), skewed=True)
+        to = gather_latency(p, MPIConfig.optimized(), skewed=True)
+        tflat = gather_latency(p, MPIConfig.baseline(), skewed=False)
+        fig.add_row(p, tb * 1e6, to * 1e6, improvement(tb, to), tflat * 1e6)
+    return fig
+
+
+def test_gather_to_all_unbalanced(benchmark):
+    fig = run_once(benchmark, sweep)
+    print_figure(fig)
+    impr = fig.column("improvement %")
+    assert impr[-1] > 50.0
+    assert all(b >= a - 1e-9 for a, b in zip(impr, impr[1:]))
+    # with a balanced layout the two configurations behave alike, so the
+    # baseline's unbalanced latency should far exceed its balanced one
+    base = fig.column("MVAPICH2-0.9.5")
+    flat = fig.column("balanced baseline")
+    assert base[-1] > 2 * flat[-1]

@@ -1,0 +1,67 @@
+"""Two-phase collective IO study: independent vs collective writes as the
+view granularity shrinks (ROMIO's classic result, built on the same
+derived-datatype machinery as the paper's communication study)."""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.bench.harness import FigureData, improvement, print_figure
+from repro.datatypes import DOUBLE, Vector
+from repro.mpi import Cluster, MPIConfig
+from repro.mpi.io import File
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+NRANKS = 8
+TOTAL_DOUBLES_PER_RANK = 512
+
+
+def write_time(interleave: int, collective: bool) -> float:
+    """Each rank writes its doubles in runs of ``interleave`` elements,
+    interleaved with the other ranks' runs."""
+    cluster = Cluster(NRANKS, config=MPIConfig.optimized(), cost=QUIET,
+                      heterogeneous=False)
+    runs = TOTAL_DOUBLES_PER_RANK // interleave
+
+    def main(comm):
+        fh = yield from File.open(comm, "bench.bin")
+        filetype = Vector(runs, interleave, comm.size * interleave, DOUBLE)
+        fh.set_view(comm.rank * interleave * 8, filetype)
+        payload = np.full(TOTAL_DOUBLES_PER_RANK, float(comm.rank))
+        yield from comm.barrier()
+        t0 = comm.engine.now
+        if collective:
+            yield from fh.write_all(payload)
+        else:
+            yield from fh.write(payload)
+        elapsed = comm.engine.now - t0
+        yield from fh.close()
+        return elapsed
+
+    return max(cluster.run(main))
+
+
+def sweep():
+    fig = FigureData(
+        "TwoPhase", "8-rank interleaved file write (ms)",
+        ["run doubles", "independent", "collective", "improvement %"],
+    )
+    for interleave in (512, 128, 32, 8, 2):
+        ti = write_time(interleave, collective=False)
+        tc = write_time(interleave, collective=True)
+        fig.add_row(interleave, ti * 1e3, tc * 1e3, improvement(ti, tc))
+    return fig
+
+
+def test_two_phase_wins_for_fine_interleaves(benchmark):
+    fig = run_once(benchmark, sweep)
+    print_figure(fig)
+    ind = fig.column("independent")
+    col = fig.column("collective")
+    # independent IO degrades as runs shrink (one op per run)
+    assert ind[-1] > 10 * ind[0]
+    # collective IO is nearly flat (always one chunk per rank)
+    assert max(col) / min(col) < 2.0
+    # and wins decisively at fine granularity
+    assert col[-1] < ind[-1] / 10

@@ -1,0 +1,51 @@
+"""Section 4.2.1 claim: Floyd-Rivest k_select runs in linear time.
+
+Measures wall time at doubling sizes and fits the growth exponent, and
+verifies k_select beats full sorting for a single order statistic at scale.
+"""
+
+import random
+import time
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.bench.harness import FigureData, print_figure
+from repro.util import k_select
+
+
+def _time(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def sweep():
+    rng = random.Random(1)
+    fig = FigureData(
+        "kselect", "k_select wall time vs set size (ms)",
+        ["n", "k_select", "sorted()[k]"],
+    )
+    for n in (50_000, 100_000, 200_000, 400_000):
+        data = [rng.randrange(10**9) for _ in range(n)]
+        k = n // 2
+        t_sel = _time(lambda: k_select(data, k))
+        t_sort = _time(lambda: sorted(data)[k - 1])
+        fig.add_row(n, t_sel * 1e3, t_sort * 1e3)
+    return fig
+
+
+def test_kselect_linear_and_beats_sort(benchmark):
+    fig = run_once(benchmark, sweep)
+    print_figure(fig)
+    n = np.array(fig.column("n"), dtype=float)
+    t = np.array(fig.column("k_select"))
+    exponent = np.polyfit(np.log(n), np.log(t), 1)[0]
+    # linear growth (generous band: wall clocks are noisy)
+    assert exponent < 1.5, exponent
+    # selection beats a full sort at the largest size
+    assert fig.column("k_select")[-1] < fig.column("sorted()[k]")[-1]

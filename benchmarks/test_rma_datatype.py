@@ -1,0 +1,73 @@
+"""Related-work study: zero-copy RDMA datatype communication.
+
+The paper's related work ([19] Santhanaraman et al., [24] Wu et al.)
+designs zero-copy MPI datatype transfers over InfiniBand RDMA; the core
+trade-off is host-assisted packing (one message + target CPU scatter)
+versus one RDMA operation per contiguous block (no target CPU, but
+per-block initiation).  Sweeping the block size at fixed total payload
+reproduces the crossover those papers measure.
+"""
+
+from conftest import run_once
+
+import numpy as np
+
+from repro.bench.harness import FigureData, print_figure
+from repro.datatypes import DOUBLE, Vector
+from repro.mpi import Cluster, MPIConfig
+from repro.mpi.rma import Win
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+TOTAL_DOUBLES = 8192  # 64 KB payload
+
+
+def put_latency(nblocks: int, method: str) -> float:
+    blocklen = TOTAL_DOUBLES // nblocks
+    cluster = Cluster(2, config=MPIConfig.optimized(), cost=QUIET,
+                      heterogeneous=False)
+
+    def main(comm):
+        local = np.zeros(TOTAL_DOUBLES * 2)
+        win = yield from Win.create(comm, local)
+        if comm.rank == 0:
+            target = Vector(nblocks, blocklen, 2 * blocklen, DOUBLE)
+            t0 = comm.engine.now
+            yield from win.put(np.ones(TOTAL_DOUBLES), 1, target, 1, method=method)
+            yield from win.fence()
+            return comm.engine.now - t0
+        yield from win.fence()
+        return None
+
+    return cluster.run(main)[0]
+
+
+def sweep():
+    fig = FigureData(
+        "RMA", "64 KB noncontiguous put: pack vs zero-copy RDMA (usec)",
+        ["blocks", "block bytes", "host-assisted pack", "multi-RDMA"],
+    )
+    for nblocks in (2, 8, 32, 128, 512, 2048, 8192):
+        fig.add_row(
+            nblocks, TOTAL_DOUBLES // nblocks * 8,
+            put_latency(nblocks, "pack") * 1e6,
+            put_latency(nblocks, "multi_rdma") * 1e6,
+        )
+    return fig
+
+
+def test_rma_datatype_crossover(benchmark):
+    fig = run_once(benchmark, sweep)
+    print_figure(fig)
+    pack = fig.column("host-assisted pack")
+    rdma = fig.column("multi-RDMA")
+    # zero-copy wins (or ties) for large blocks, loses badly for tiny ones
+    assert rdma[0] <= pack[0] * 1.05
+    assert rdma[-1] > 3 * pack[-1]
+    # there is a crossover inside the sweep
+    signs = [r > p for p, r in zip(pack, rdma)]
+    assert signs[0] is False and signs[-1] is True
+    # pack latency is nearly flat (payload-dominated); multi-RDMA grows
+    # with the block count
+    assert max(pack) / min(pack) < 3.0
+    assert rdma[-1] / rdma[0] > 10.0

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""The Bratu nonlinear PDE solved with the full PETSc-like stack.
+
+Solves ``-lap(u) = mu * exp(u)`` with homogeneous Dirichlet conditions on
+the unit square -- PETSc's classic SNES tutorial problem -- using every
+layer of the paper's Fig. 1 architecture: DMDA ghost exchanges inside the
+residual, a matrix-free Newton-Krylov SNES, GMRES inner solves, all over
+the simulated MPI stack.
+
+The Bratu problem has two solution branches for mu below the critical
+value (~6.81 on the continuum square); Newton from u=0 finds the lower
+branch, whose peak grows with mu.
+
+Run:  python examples/bratu_nonlinear.py
+"""
+
+import numpy as np
+
+from repro.mpi import Cluster, MPIConfig
+from repro.petsc import DMDA, Laplacian, NewtonKrylov
+
+GRID = (32, 32)
+
+if __name__ == "__main__":
+    for mu in (1.0, 3.0, 6.0):
+        cluster = Cluster(4, config=MPIConfig.optimized(), heterogeneous=False)
+
+        def main(comm, mu=mu):
+            da = DMDA(comm, GRID)
+            op = Laplacian(da)
+
+            def residual(w, f):
+                yield from op.mult(w, f)
+                np.subtract(f.local, mu * np.exp(w.local), out=f.local)
+                yield from f._flops(3.0)
+
+            x = da.create_global_vec()
+            result = yield from NewtonKrylov(residual, x, rtol=1e-10)
+            peak = yield from x.max()
+            return result, peak
+
+        result, peak = cluster.run(main)[0]
+        drop = result.residual_norms[-1] / result.residual_norms[0]
+        print(f"mu = {mu:3.1f}: {'converged' if result.converged else 'FAILED':9s} "
+              f"in {result.iterations} Newton steps "
+              f"({result.linear_iterations} GMRES iterations), "
+              f"residual x{drop:.1e}, max(u) = {peak:.4f}, "
+              f"simulated time {cluster.elapsed * 1e3:.2f} ms")
+    print()
+    print("max(u) grows with mu along the lower Bratu branch, as expected.")

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Checkpoint a distributed field with MPI-IO subarray views.
+
+Each rank writes its owned box of a 2-D DMDA field into a single shared
+file in *natural* (global row-major) order, using a ``Subarray`` filetype
+view -- the canonical MPI-IO pattern.  The checkpoint is then read back on
+a cluster with a DIFFERENT process count, demonstrating that the file
+layout is decomposition-independent.
+
+Run:  python examples/checkpoint_io.py
+"""
+
+import numpy as np
+
+from repro.datatypes import DOUBLE, Subarray
+from repro.mpi import Cluster, MPIConfig
+from repro.mpi.io import File, _SimFileSystem
+from repro.petsc import DMDA
+
+GRID = (32, 48)
+
+
+def field_value(iy, ix):
+    return np.sin(0.2 * iy) * np.cos(0.1 * ix)
+
+
+def writer(comm):
+    da = DMDA(comm, GRID)
+    v = da.create_global_vec()
+    lo, hi = da.owned_box()
+    ys = np.arange(lo[1], hi[1])[:, None]
+    xs = np.arange(lo[2], hi[2])[None, :]
+    da.global_array(v)[0] = field_value(ys, xs)
+
+    fh = yield from File.open(comm, "field.chk")
+    filetype = Subarray(
+        [GRID[0], GRID[1]],
+        [hi[1] - lo[1], hi[2] - lo[2]],
+        [lo[1], lo[2]],
+        DOUBLE,
+    )
+    fh.set_view(0, filetype)
+    yield from fh.write_all(v.local)
+    yield from fh.close()
+    return comm.engine.now
+
+
+def reader(comm):
+    da = DMDA(comm, GRID)
+    lo, hi = da.owned_box()
+    fh = yield from File.open(comm, "field.chk")
+    filetype = Subarray(
+        [GRID[0], GRID[1]],
+        [hi[1] - lo[1], hi[2] - lo[2]],
+        [lo[1], lo[2]],
+        DOUBLE,
+    )
+    fh.set_view(0, filetype)
+    mine = np.zeros((hi[1] - lo[1]) * (hi[2] - lo[2]))
+    yield from fh.read_all(mine)
+    yield from fh.close()
+    ys = np.arange(lo[1], hi[1])[:, None]
+    xs = np.arange(lo[2], hi[2])[None, :]
+    expect = field_value(ys, xs).reshape(-1)
+    return bool(np.allclose(mine, expect))
+
+
+if __name__ == "__main__":
+    # write on 6 ranks
+    w = Cluster(6, config=MPIConfig.optimized(), heterogeneous=False)
+    w.run(writer)
+    fs = _SimFileSystem.of(w)
+    print(f"checkpoint written by 6 ranks: {fs.files['field.chk'].size} bytes, "
+          f"{fs.ops} file ops, simulated {w.elapsed * 1e3:.2f} ms")
+
+    # read on 4 ranks (different decomposition!) -- share the file store
+    r = Cluster(4, config=MPIConfig.optimized(), heterogeneous=False)
+    setattr(r, _SimFileSystem.key, _SimFileSystem(r))
+    _SimFileSystem.of(r).files.update(fs.files)
+    ok = all(r.run(reader))
+    print(f"re-read by 4 ranks with a different decomposition: "
+          f"{'all values verified' if ok else 'MISMATCH'}")

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Parallel finite elements on an unstructured mesh (paper Fig. 2, right).
+
+Assembles and solves the Poisson problem on a triangulated unit square
+with elements partitioned across ranks -- interface rows are assembled by
+several ranks and shipped to their owners through the AIJ stash protocol
+(PETSc's MatSetValues/MatAssembly), then solved with CG + block Jacobi.
+
+Shows the O(h^2) convergence of the P1 discretisation and the cost of the
+three communication paths.
+
+Run:  python examples/fem_unstructured.py
+"""
+
+from repro.apps.fem_poisson import solve_poisson_fem
+from repro.mpi import MPIConfig
+
+if __name__ == "__main__":
+    print("convergence (4 ranks, CG + block Jacobi):")
+    prev = None
+    for n in (8, 16, 32):
+        r = solve_poisson_fem(4, n=n)
+        rate = "" if prev is None else f"  (order {((prev / r.error_max)):.1f}x)"
+        print(f"  {n:3d}x{n:<3d} mesh: max nodal error {r.error_max:.2e} "
+              f"in {r.iterations} CG iterations{rate}")
+        prev = r.error_max
+    print()
+    print("communication paths (32x32 mesh, 8 ranks):")
+    for label, backend, config in (
+        ("hand-tuned", "hand_tuned", MPIConfig.baseline()),
+        ("MVAPICH2-0.9.5", "datatype", MPIConfig.baseline()),
+        ("MVAPICH2-New", "datatype", MPIConfig.optimized()),
+    ):
+        r = solve_poisson_fem(8, n=32, backend=backend, config=config)
+        print(f"  {label:15s}: {r.simulated_time * 1e3:8.2f} ms simulated "
+              f"({r.iterations} iterations)")

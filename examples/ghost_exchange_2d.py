@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Ghost-point exchange on a 2-D distributed grid (paper Figs. 2 and 3).
+
+Creates a 2-D DMDA over a 3x3 process grid with a *box* stencil, so each
+rank exchanges large face messages with its side neighbours, single corner
+values with its diagonal neighbours, and *nothing* with non-adjacent ranks
+-- the nonuniform communication volumes the paper analyses.  Runs the ghost
+update with both VecScatter backends over both MPI configurations and
+reports message statistics and simulated latency.
+
+Run:  python examples/ghost_exchange_2d.py
+"""
+
+import numpy as np
+
+from repro.mpi import Cluster, MPIConfig
+from repro.petsc import DMDA
+
+GRID = (66, 66)
+NRANKS = 9
+
+
+def main(comm, backend):
+    da = DMDA(comm, GRID, stencil="box", stencil_width=1, proc_grid=(3, 3))
+    v = da.create_global_vec()
+    lo, hi = da.owned_box()
+    # stamp each owned cell with its natural (row, col)
+    rows = np.arange(lo[1], hi[1])[:, None]
+    cols = np.arange(lo[2], hi[2])[None, :]
+    da.global_array(v)[0] = rows * 1000 + cols
+
+    larr = da.create_local_array()
+    yield from comm.barrier()
+    t0 = comm.engine.now
+    yield from da.global_to_local(v, larr, backend=backend)
+    elapsed = comm.engine.now - t0
+
+    sc = da.ghost_scatter()
+    volumes = {peer: offs.size * 8 for peer, offs in sc.send_map.items()}
+    return elapsed, volumes
+
+
+if __name__ == "__main__":
+    for backend in ("hand_tuned", "datatype"):
+        for config in (MPIConfig.baseline(), MPIConfig.optimized()):
+            cluster = Cluster(NRANKS, config=config, heterogeneous=False)
+            results = cluster.run(lambda comm: main(comm, backend))
+            elapsed = max(t for t, _ in results)
+            volumes = results[0][1]
+            print(f"{backend:<11} over {config.name}:")
+            print(f"  ghost update latency: {elapsed * 1e6:8.1f} us")
+            print(f"  rank 0 send volumes : {volumes} bytes "
+                  "(two faces + one corner: nonuniform!)")
+            print(f"  messages on wire    : {cluster.net.messages_on_wire}")
+            print()
+    print("Note the baseline datatype path messages EVERY rank (zero-byte")
+    print("synchronisations); the optimised Alltoallw exempts the zero bin.")

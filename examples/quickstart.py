@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: send a noncontiguous matrix column between two simulated
+ranks and see what the paper is about.
+
+Builds a two-rank simulated cluster twice -- once with the baseline MPI
+(MVAPICH2-0.9.5 behaviour: single-context datatype engine) and once with
+the paper's optimised stack -- sends one column of a matrix (a classic
+noncontiguous derived datatype), and prints where the time went.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.datatypes import DOUBLE, TypedBuffer, Vector
+from repro.mpi import Cluster, MPIConfig
+
+N = 4096  # matrix rows: the column payload is 32 KB, several pipeline chunks
+
+
+def main(comm):
+    """The per-rank program: rank 0 sends column 7, rank 1 receives it."""
+    if comm.rank == 0:
+        matrix = np.arange(N * 16, dtype=np.float64).reshape(N, 16)
+        column = TypedBuffer(
+            matrix, Vector(N, 1, 16, DOUBLE), offset_bytes=7 * 8
+        )
+        yield from comm.send(column, dest=1)
+        return None
+    buf = np.zeros(N)
+    yield from comm.recv(buf, source=0)
+    return buf
+
+
+if __name__ == "__main__":
+    for config in (MPIConfig.baseline(), MPIConfig.optimized()):
+        cluster = Cluster(2, config=config, heterogeneous=False)
+        results = cluster.run(main)
+        received = results[1]
+        expected = np.arange(N * 16, dtype=np.float64).reshape(N, 16)[:, 7]
+        assert np.array_equal(received, expected), "column corrupted!"
+        ledger = cluster.ledgers[0]
+        print(f"{config.name}:")
+        print(f"  simulated latency : {cluster.elapsed * 1e6:9.1f} us")
+        for cat in ("comm", "pack", "search", "lookahead"):
+            print(f"  {cat:<18}: {ledger.get(cat) * 1e6:9.1f} us")
+        print()
+    print("The baseline pays a 'search' cost that grows quadratically with")
+    print("the datatype; the dual-context engine (section 4.1) eliminates it.")

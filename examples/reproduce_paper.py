@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Regenerate every figure of the paper's evaluation section.
+
+Prints the series behind Figs. 12-17 as text tables.  The full sweep takes
+several minutes (the 128-rank baseline multigrid run dominates); pass
+``--quick`` for a reduced sweep.
+
+Run:  python examples/reproduce_paper.py [--quick]
+"""
+
+import sys
+import time
+
+from repro.bench import figures, print_figure
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv
+    t0 = time.time()
+
+    print_figure(figures.fig12())
+    print()
+    for fig in figures.fig13():
+        print_figure(fig)
+        print()
+    print_figure(figures.fig14a())
+    print()
+    print_figure(figures.fig14b())
+    print()
+    print_figure(figures.fig15(procs=(2, 4, 8, 16, 32) if quick
+                               else figures.FIG15_PROCS))
+    print()
+    print_figure(figures.fig16(procs=(2, 4, 8, 16) if quick
+                               else figures.FIG16_PROCS))
+    print()
+    print_figure(figures.fig17(procs=(4, 8) if quick else figures.FIG17_PROCS,
+                               grid=(48, 48, 48) if quick else (100, 100, 100)))
+    print()
+    print(f"total wall time: {time.time() - t0:.0f} s")

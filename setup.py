@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, which
+setuptools' PEP 660 editable-install path requires.  ``python setup.py
+develop`` (or ``pip install -e . --no-build-isolation`` on machines that do
+have ``wheel``) installs the package for development.
+"""
+
+from setuptools import setup
+
+setup()

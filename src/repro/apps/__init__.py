@@ -1,0 +1,28 @@
+"""The paper's evaluation drivers (section 5).
+
+- :mod:`repro.apps.transpose` -- the matrix-transpose microbenchmark
+  (Figs. 12-13),
+- :mod:`repro.apps.allgatherv_bench` -- the nonuniform Allgatherv
+  microbenchmark (Fig. 14),
+- :mod:`repro.apps.alltoallw_bench` -- the nearest-neighbour Alltoallw
+  microbenchmark (Fig. 15),
+- :mod:`repro.apps.vecscatter_bench` -- the PETSc vector-scatter benchmark
+  (Fig. 16),
+- :mod:`repro.apps.laplacian3d` -- the 3-D Laplacian multigrid solver
+  application (Fig. 17).
+"""
+
+from repro.apps.transpose import transpose_benchmark
+from repro.apps.allgatherv_bench import allgatherv_benchmark
+from repro.apps.alltoallw_bench import alltoallw_ring_benchmark
+from repro.apps.vecscatter_bench import vecscatter_benchmark
+from repro.apps.laplacian3d import laplacian3d_benchmark, laplacian3d_solve
+
+__all__ = [
+    "allgatherv_benchmark",
+    "alltoallw_ring_benchmark",
+    "laplacian3d_benchmark",
+    "laplacian3d_solve",
+    "transpose_benchmark",
+    "vecscatter_benchmark",
+]

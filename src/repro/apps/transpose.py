@@ -1,0 +1,83 @@
+"""The matrix-transpose microbenchmark (paper section 5.2, Figs. 12-13).
+
+Rank 0 sends an ``n x n`` matrix of doubles to rank 1 *in column-major
+order* while rank 1 receives it in row-major order, so the received matrix
+is the transpose.  The send datatype is the paper's classic construction: a
+strided column type resized to one element's extent, tiled ``n`` times --
+``n^2`` single-element blocks, the worst case for the pack engine.
+
+Returns both the simulated latency and the per-category time breakdown
+(communication / packing / context search) needed for Fig. 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.datatypes import DOUBLE, Contiguous, Resized, TypedBuffer, Vector
+from repro.mpi import Cluster, MPIConfig
+from repro.util.costmodel import CostModel
+
+
+def column_major_type(n: int):
+    """A datatype reading an ``n x n`` row-major double matrix column by
+    column: column = Vector(n, 1, n); tiled at 8-byte steps via Resized."""
+    column = Vector(n, 1, n, DOUBLE)
+    return Contiguous(n, Resized(column, DOUBLE.extent))
+
+
+@dataclass
+class TransposeResult:
+    """One benchmark point."""
+
+    n: int
+    latency: float                 # simulated seconds
+    breakdown: Dict[str, float]    # comm/pack/search/lookahead seconds
+    correct: bool
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        total = sum(self.breakdown.values())
+        if total <= 0:
+            return {k: 0.0 for k in self.breakdown}
+        return {k: v / total for k, v in self.breakdown.items()}
+
+
+def transpose_benchmark(
+    n: int,
+    config: MPIConfig,
+    cost: Optional[CostModel] = None,
+    seed: int = 0,
+    verify: bool = True,
+) -> TransposeResult:
+    """Run one transpose of an ``n x n`` double matrix under ``config``."""
+    cluster = Cluster(2, config=config, cost=cost, seed=seed, heterogeneous=False)
+    check = {}
+
+    def main(comm):
+        if comm.rank == 0:
+            m = np.arange(n * n, dtype=np.float64).reshape(n, n) if verify \
+                else np.zeros((n, n))
+            tb = TypedBuffer(m, column_major_type(n))
+            yield from comm.send(tb, dest=1, tag=0)
+            check["sent"] = m if verify else None
+            return None
+        buf = np.zeros((n, n))
+        yield from comm.recv(buf, source=0, tag=0)
+        check["received"] = buf if verify else None
+        return None
+
+    cluster.run(main)
+    correct = True
+    if verify:
+        correct = bool(np.array_equal(check["received"], check["sent"].T))
+    ledger = cluster.ledgers[0].merged(cluster.ledgers[1])
+    breakdown = {
+        "comm": ledger.get("comm"),
+        "pack": ledger.get("pack"),
+        "search": ledger.get("search"),
+        "lookahead": ledger.get("lookahead"),
+    }
+    return TransposeResult(n, cluster.elapsed, breakdown, correct)

@@ -1,0 +1,49 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.bench                 # all figures (slow: several min)
+    python -m repro.bench fig12 fig14a    # a selection
+    python -m repro.bench --quick         # reduced sweeps
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench import figures, print_figure
+
+ALL = ["fig12", "fig13", "fig14a", "fig14b", "fig15", "fig16", "fig17"]
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    wanted = [a for a in argv if not a.startswith("-")] or ALL
+    unknown = [w for w in wanted if w not in ALL]
+    if unknown:
+        print(f"unknown figure(s): {unknown}; choose from {ALL}")
+        return 2
+    t0 = time.time()
+    for name in wanted:
+        if name == "fig13":
+            for fig in figures.fig13():
+                print_figure(fig)
+                print()
+            continue
+        kwargs = {}
+        if quick and name == "fig15":
+            kwargs["procs"] = (2, 4, 8, 16, 32)
+        if quick and name == "fig16":
+            kwargs["procs"] = (2, 4, 8, 16)
+        if quick and name == "fig17":
+            kwargs["procs"] = (4, 8)
+            kwargs["grid"] = (48, 48, 48)
+        print_figure(getattr(figures, name)(**kwargs))
+        print()
+    print(f"wall time: {time.time() - t0:.0f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,67 @@
+"""Table plumbing for the figure benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class FigureData:
+    """One reproduced figure: named columns and rows of measurements."""
+
+    name: str
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.name}: row has {len(values)} entries, "
+                f"expected {len(self.columns)}"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> List[Any]:
+        i = self.columns.index(name)
+        return [row[i] for row in self.rows]
+
+    def as_dict(self) -> Dict[str, List[Any]]:
+        return {c: self.column(c) for c in self.columns}
+
+
+def improvement(baseline: float, optimized: float) -> float:
+    """Percentage improvement of ``optimized`` over ``baseline``."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (1.0 - optimized / baseline)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def print_figure(fig: FigureData) -> str:
+    """Render a figure as an aligned text table; returns what it prints."""
+    lines = [f"== {fig.name}: {fig.title} =="]
+    cells = [fig.columns] + [[_fmt(v) for v in row] for row in fig.rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(fig.columns))]
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    for note in fig.notes:
+        lines.append(f"  note: {note}")
+    text = "\n".join(lines)
+    print(text)
+    return text

@@ -1,0 +1,382 @@
+"""MPI derived-datatype constructors.
+
+Mirrors the MPI type-creation calls the paper exercises:
+
+=====================  =============================================
+This module            MPI equivalent
+=====================  =============================================
+``Primitive``          ``MPI_DOUBLE``, ``MPI_INT``, ...
+``Contiguous``         ``MPI_Type_contiguous``
+``Vector``             ``MPI_Type_vector``
+``HVector``            ``MPI_Type_create_hvector``
+``Indexed``            ``MPI_Type_indexed``
+``HIndexed``           ``MPI_Type_create_hindexed``
+``IndexedBlock``       ``MPI_Type_create_indexed_block``
+``Struct``             ``MPI_Type_create_struct``
+``Subarray``           ``MPI_Type_create_subarray``
+``Resized``            ``MPI_Type_create_resized``
+=====================  =============================================
+
+Every datatype knows its ``size`` (payload bytes), ``extent`` (span including
+holes), and can ``flatten()`` to a :class:`repro.datatypes.flatten.BlockList`.
+Flattening is vectorised (numpy) and cached, so even the million-block
+column datatype of the 1024x1024 transpose benchmark is cheap to build.
+
+The paper's running example (Figs. 4-6) -- the first column of an 8x8 matrix
+of 3-double elements -- is::
+
+    element = Contiguous(3, DOUBLE)          # one matrix element
+    column  = Vector(8, 1, 8, element)       # 8 elements, stride 8 elements
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datatypes.flatten import BlockList, merge_adjacent
+
+
+class DatatypeError(ValueError):
+    """Invalid datatype construction or use."""
+
+
+class Datatype:
+    """Base class; concrete types implement :meth:`_flatten`."""
+
+    #: payload bytes per instance of this type
+    size: int
+    #: span in bytes from lower bound to upper bound (may exceed ``size``)
+    extent: int
+
+    _cached_blocks: Optional[BlockList]
+
+    def flatten(self) -> BlockList:
+        """The merged contiguous-block stream of one instance of the type."""
+        if self._cached_blocks is None:
+            self._cached_blocks = self._flatten()
+        return self._cached_blocks
+
+    def _flatten(self) -> BlockList:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def num_blocks(self) -> int:
+        return self.flatten().num_blocks
+
+    def signature(self) -> tuple:
+        """A hashable structural summary (used for type-matching checks)."""
+        return (type(self).__name__, self.size, self.extent, self.num_blocks)
+
+    def is_contiguous(self) -> bool:
+        bl = self.flatten()
+        return bl.num_blocks == 1 and int(bl.offsets[0]) == 0 and self.size == self.extent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(size={self.size}, extent={self.extent})"
+
+
+class Primitive(Datatype):
+    """A basic MPI type backed by a numpy scalar dtype."""
+
+    def __init__(self, name: str, np_dtype: np.dtype):
+        self.name = name
+        self.np_dtype = np.dtype(np_dtype)
+        self.size = self.np_dtype.itemsize
+        self.extent = self.size
+        self._cached_blocks = None
+
+    def _flatten(self) -> BlockList:
+        return BlockList(np.array([0]), np.array([self.size]))
+
+    def __repr__(self) -> str:
+        return f"Primitive({self.name})"
+
+
+DOUBLE = Primitive("DOUBLE", np.float64)
+FLOAT = Primitive("FLOAT", np.float32)
+INT = Primitive("INT", np.int32)
+LONG = Primitive("LONG", np.int64)
+CHAR = Primitive("CHAR", np.int8)
+BYTE = Primitive("BYTE", np.uint8)
+
+
+def _check_base(base: Datatype) -> Datatype:
+    if not isinstance(base, Datatype):
+        raise DatatypeError(f"base type must be a Datatype, got {type(base).__name__}")
+    return base
+
+
+class Contiguous(Datatype):
+    """``count`` back-to-back copies of ``base``."""
+
+    def __init__(self, count: int, base: Datatype):
+        if count < 1:
+            raise DatatypeError(f"count must be >= 1, got {count}")
+        self.count = count
+        self.base = _check_base(base)
+        self.size = count * base.size
+        self.extent = count * base.extent
+        self._cached_blocks = None
+
+    def _flatten(self) -> BlockList:
+        disps = np.arange(self.count, dtype=np.int64) * self.base.extent
+        return self.base.flatten().replicated(disps)
+
+
+class Vector(Datatype):
+    """``count`` blocks of ``blocklength`` base-elements, stride in elements.
+
+    The paper's column type: ``Vector(8, 1, 8, element)``.
+    """
+
+    def __init__(self, count: int, blocklength: int, stride: int, base: Datatype):
+        if count < 1 or blocklength < 1:
+            raise DatatypeError("count and blocklength must be >= 1")
+        self.count = count
+        self.blocklength = blocklength
+        self.stride = stride
+        self.base = _check_base(base)
+        self.size = count * blocklength * base.size
+        # MPI extent: from first byte to last byte spanned (strides may be
+        # negative; we only support non-negative here for clarity)
+        if stride < blocklength and count > 1:
+            raise DatatypeError("overlapping vector (stride < blocklength)")
+        self.extent = ((count - 1) * stride + blocklength) * base.extent
+        self._cached_blocks = None
+
+    def _flatten(self) -> BlockList:
+        block = Contiguous(self.blocklength, self.base) if self.blocklength > 1 else self.base
+        disps = np.arange(self.count, dtype=np.int64) * (self.stride * self.base.extent)
+        return block.flatten().replicated(disps)
+
+
+class HVector(Datatype):
+    """Like :class:`Vector` but the stride is given in bytes."""
+
+    def __init__(self, count: int, blocklength: int, stride_bytes: int, base: Datatype):
+        if count < 1 or blocklength < 1:
+            raise DatatypeError("count and blocklength must be >= 1")
+        if stride_bytes < blocklength * base.extent and count > 1:
+            raise DatatypeError("overlapping hvector")
+        self.count = count
+        self.blocklength = blocklength
+        self.stride_bytes = stride_bytes
+        self.base = _check_base(base)
+        self.size = count * blocklength * base.size
+        self.extent = (count - 1) * stride_bytes + blocklength * base.extent
+        self._cached_blocks = None
+
+    def _flatten(self) -> BlockList:
+        block = Contiguous(self.blocklength, self.base) if self.blocklength > 1 else self.base
+        disps = np.arange(self.count, dtype=np.int64) * self.stride_bytes
+        return block.flatten().replicated(disps)
+
+
+class Indexed(Datatype):
+    """Blocks of varying length at varying displacements (in base elements)."""
+
+    def __init__(self, blocklengths: Sequence[int], displacements: Sequence[int], base: Datatype):
+        bl = np.asarray(blocklengths, dtype=np.int64)
+        dp = np.asarray(displacements, dtype=np.int64)
+        if bl.shape != dp.shape or bl.ndim != 1 or len(bl) == 0:
+            raise DatatypeError("blocklengths/displacements must be equal-length, non-empty")
+        if np.any(bl < 0) or np.all(bl == 0):
+            raise DatatypeError("blocklengths must be >= 0 with at least one > 0")
+        self.base = _check_base(base)
+        keep = bl > 0
+        self.blocklengths = bl[keep]
+        self.displacements = dp[keep]
+        self.size = int(self.blocklengths.sum()) * base.size
+        self.extent = int(
+            (self.displacements + self.blocklengths).max() * base.extent
+        )
+        self._cached_blocks = None
+
+    def _flatten(self) -> BlockList:
+        base_bl = self.base.flatten()
+        if base_bl.num_blocks == 1 and self.base.size == self.base.extent:
+            # fast path: pure byte blocks, in definition order (MPI packs in
+            # the order blocks appear in the typemap, not sorted order)
+            offs = self.displacements * self.base.extent
+            lens = self.blocklengths * self.base.size
+            return merge_adjacent(offs, lens)
+        parts_off = []
+        parts_len = []
+        for blen, disp in zip(self.blocklengths.tolist(), self.displacements.tolist()):
+            sub = Contiguous(blen, self.base).flatten().shifted(disp * self.base.extent)
+            parts_off.append(sub.offsets)
+            parts_len.append(sub.lengths)
+        offs = np.concatenate(parts_off)
+        lens = np.concatenate(parts_len)
+        return merge_adjacent(offs, lens)
+
+
+class HIndexed(Datatype):
+    """Like :class:`Indexed` but displacements are in bytes."""
+
+    def __init__(self, blocklengths: Sequence[int], byte_displacements: Sequence[int], base: Datatype):
+        bl = np.asarray(blocklengths, dtype=np.int64)
+        dp = np.asarray(byte_displacements, dtype=np.int64)
+        if bl.shape != dp.shape or bl.ndim != 1 or len(bl) == 0:
+            raise DatatypeError("blocklengths/displacements must be equal-length, non-empty")
+        if np.any(bl < 0) or np.all(bl == 0):
+            raise DatatypeError("blocklengths must be >= 0 with at least one > 0")
+        self.base = _check_base(base)
+        keep = bl > 0
+        self.blocklengths = bl[keep]
+        self.byte_displacements = dp[keep]
+        self.size = int(self.blocklengths.sum()) * base.size
+        self.extent = int(
+            (self.byte_displacements + self.blocklengths * base.extent).max()
+        )
+        self._cached_blocks = None
+
+    def _flatten(self) -> BlockList:
+        if self.base.num_blocks != 1 or self.base.size != self.base.extent:
+            raise DatatypeError("HIndexed over non-contiguous base not supported")
+        offs = self.byte_displacements.copy()
+        lens = self.blocklengths * self.base.size
+        return merge_adjacent(offs, lens)
+
+
+class IndexedBlock(Datatype):
+    """Equal-length blocks at varying displacements (in base elements)."""
+
+    def __init__(self, blocklength: int, displacements: Sequence[int], base: Datatype):
+        if blocklength < 1:
+            raise DatatypeError("blocklength must be >= 1")
+        dp = np.asarray(displacements, dtype=np.int64)
+        if dp.ndim != 1 or len(dp) == 0:
+            raise DatatypeError("displacements must be 1-D, non-empty")
+        self.blocklength = blocklength
+        self.displacements = dp
+        self.base = _check_base(base)
+        self.size = len(dp) * blocklength * base.size
+        self.extent = int((dp.max() + blocklength) * base.extent)
+        self._cached_blocks = None
+
+    def _flatten(self) -> BlockList:
+        block = Contiguous(self.blocklength, self.base) if self.blocklength > 1 else self.base
+        disps = self.displacements * self.base.extent
+        return block.flatten().replicated(disps)
+
+
+class Struct(Datatype):
+    """Heterogeneous fields: per-field blocklength, byte displacement, type.
+
+    The classic interlaced-fields case from the paper's section 2.1 (pressure,
+    temperature, x-velocity, y-velocity stored per grid point).
+    """
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        byte_displacements: Sequence[int],
+        types: Sequence[Datatype],
+    ):
+        if not (len(blocklengths) == len(byte_displacements) == len(types)) or not types:
+            raise DatatypeError("struct fields must be equal-length, non-empty")
+        self.blocklengths = [int(b) for b in blocklengths]
+        self.byte_displacements = [int(d) for d in byte_displacements]
+        self.types = [_check_base(t) for t in types]
+        if any(b < 1 for b in self.blocklengths):
+            raise DatatypeError("struct blocklengths must be >= 1")
+        self.size = sum(b * t.size for b, t in zip(self.blocklengths, self.types))
+        self.extent = max(
+            d + b * t.extent
+            for b, d, t in zip(self.blocklengths, self.byte_displacements, self.types)
+        )
+        self._cached_blocks = None
+
+    def _flatten(self) -> BlockList:
+        parts_off = []
+        parts_len = []
+        for b, d, t in zip(self.blocklengths, self.byte_displacements, self.types):
+            sub = (Contiguous(b, t) if b > 1 else t).flatten().shifted(d)
+            parts_off.append(sub.offsets)
+            parts_len.append(sub.lengths)
+        offs = np.concatenate(parts_off)
+        lens = np.concatenate(parts_len)
+        return merge_adjacent(offs, lens)
+
+
+class Subarray(Datatype):
+    """An n-dimensional sub-block of an n-dimensional array.
+
+    ``sizes`` is the full local array shape, ``subsizes`` the selected block,
+    ``starts`` its origin.  ``order='C'`` means the last dimension is
+    contiguous (row-major), matching both numpy's default layout and
+    ``MPI_ORDER_C``.  This is the type a DMDA ghost-face exchange builds.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        subsizes: Sequence[int],
+        starts: Sequence[int],
+        base: Datatype,
+        order: str = "C",
+    ):
+        sizes = [int(s) for s in sizes]
+        subsizes = [int(s) for s in subsizes]
+        starts = [int(s) for s in starts]
+        if not (len(sizes) == len(subsizes) == len(starts)) or not sizes:
+            raise DatatypeError("sizes/subsizes/starts must be equal-length, non-empty")
+        for full, sub, st in zip(sizes, subsizes, starts):
+            if sub < 1 or st < 0 or st + sub > full:
+                raise DatatypeError(
+                    f"invalid subarray: sizes={sizes} subsizes={subsizes} starts={starts}"
+                )
+        if order not in ("C", "F"):
+            raise DatatypeError("order must be 'C' or 'F'")
+        self.sizes = sizes
+        self.subsizes = subsizes
+        self.starts = starts
+        self.order = order
+        self.base = _check_base(base)
+        n = 1
+        for s in subsizes:
+            n *= s
+        self.size = n * base.size
+        full = 1
+        for s in sizes:
+            full *= s
+        self.extent = full * base.extent  # like MPI: extent of the full array
+        self._cached_blocks = None
+
+    def _flatten(self) -> BlockList:
+        sizes, subsizes, starts = self.sizes, self.subsizes, self.starts
+        if self.order == "F":
+            sizes, subsizes, starts = sizes[::-1], subsizes[::-1], starts[::-1]
+        # Row-major: the last dimension is contiguous.  Build displacements of
+        # every run of subsizes[-1] consecutive base elements.
+        elem = self.base.extent
+        # strides (in elements) of each dimension in the full array
+        strides = [1] * len(sizes)
+        for d in range(len(sizes) - 2, -1, -1):
+            strides[d] = strides[d + 1] * sizes[d + 1]
+        # displacement grid over all dims except the last
+        disp = np.zeros(1, dtype=np.int64)
+        for d in range(len(sizes) - 1):
+            idx = (starts[d] + np.arange(subsizes[d], dtype=np.int64)) * strides[d]
+            disp = (disp[:, None] + idx[None, :]).reshape(-1)
+        disp = (disp + starts[-1]) * elem
+        run = Contiguous(subsizes[-1], self.base) if subsizes[-1] > 1 else self.base
+        return run.flatten().replicated(disp)
+
+
+class Resized(Datatype):
+    """Override a type's extent (``MPI_Type_create_resized`` with lb=0)."""
+
+    def __init__(self, base: Datatype, extent: int):
+        self.base = _check_base(base)
+        if extent < 1:
+            raise DatatypeError("extent must be >= 1")
+        self.size = base.size
+        self.extent = extent
+        self._cached_blocks = None
+
+    def _flatten(self) -> BlockList:
+        return self.base.flatten()

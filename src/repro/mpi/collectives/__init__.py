@@ -1,0 +1,11 @@
+"""Collective communication algorithms.
+
+- :mod:`repro.mpi.collectives.basic` -- barrier (dissemination), bcast
+  (binomial tree), allreduce (recursive doubling), gather -- the
+  control-plane operations PETSc needs,
+- :mod:`repro.mpi.collectives.allgatherv` -- ring, recursive-doubling,
+  dissemination and the paper's adaptive outlier-detecting variant
+  (section 4.2.1),
+- :mod:`repro.mpi.collectives.alltoallw` -- round-robin baseline and the
+  paper's three-bin variant (section 4.2.2).
+"""

@@ -1,0 +1,221 @@
+"""``MPI_Allgatherv`` algorithms (paper sections 3.2 and 4.2.1).
+
+Four algorithms are provided:
+
+``ring``
+    MPICH2's large-message algorithm: N-1 steps around a logical ring, each
+    rank forwarding the block it received in the previous step.  Optimal for
+    *uniform* volumes (fully pipelined, every link busy) but serialises a
+    single large block behind N-1 sequential hops (Fig. 8).
+
+``recursive_doubling``
+    log2(N) pairwise exchange phases, power-of-two N only (Fig. 10).  A
+    large block travels a binomial tree: after it first moves, two ranks
+    forward it simultaneously, then four, ...
+
+``dissemination``
+    ceil(log2 N) phases for arbitrary N (Fig. 11, Han & Finkel): in phase p
+    rank i sends everything it holds to rank i + 2^p and receives from rank
+    i - 2^p.
+
+``adaptive``
+    The paper's section 4.2.1 design: compute the outlier ratio of the
+    (locally known) volume set with Floyd-Rivest k-select; when a small
+    subset of volumes is far above the bulk, abandon the ring in favour of
+    recursive doubling / dissemination.
+
+The baseline configuration follows MPICH2: recursive doubling (pow-2) or
+dissemination (non-pow-2) for short totals, ring for long totals.  The
+optimised configuration runs the adaptive algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+import numpy as np
+
+from repro.datatypes.packing import TypedBuffer
+from repro.datatypes.typemap import Datatype, HIndexed, Primitive
+from repro.mpi import outlier
+from repro.mpi.comm import Comm, MPIError, as_typed
+from repro.mpi.collectives.basic import _tag_window
+
+
+def _normalize(comm, sendbuffer, recvbuffer, counts, displs, datatype):
+    recvbuffer = np.asarray(recvbuffer)
+    if datatype is None:
+        datatype = Primitive(str(recvbuffer.dtype).upper(), recvbuffer.dtype)
+    counts = [int(c) for c in counts]
+    if len(counts) != comm.size:
+        raise MPIError(f"counts has {len(counts)} entries for {comm.size} ranks")
+    if any(c < 0 for c in counts):
+        raise MPIError("negative count")
+    if displs is None:
+        displs = np.concatenate(([0], np.cumsum(counts[:-1]))).tolist()
+    displs = [int(d) for d in displs]
+    return recvbuffer, datatype, counts, displs
+
+
+def _block_tb(recvbuffer, datatype, counts, displs, block) -> Optional[TypedBuffer]:
+    """TypedBuffer covering one rank's contribution region of recvbuffer."""
+    if counts[block] == 0:
+        return None
+    return TypedBuffer(
+        recvbuffer, datatype, count=counts[block],
+        offset_bytes=displs[block] * datatype.extent,
+    )
+
+
+def _blocks_tb(recvbuffer, datatype, counts, displs, blocks) -> Optional[TypedBuffer]:
+    """TypedBuffer covering several contribution regions, in ``blocks`` order."""
+    nz = [b for b in blocks if counts[b] > 0]
+    if not nz:
+        return None
+    if len(nz) == 1:
+        return _block_tb(recvbuffer, datatype, counts, displs, nz[0])
+    dt = HIndexed(
+        [counts[b] for b in nz],
+        [displs[b] * datatype.extent for b in nz],
+        datatype if datatype.is_contiguous() else _flat_base(datatype),
+    )
+    return TypedBuffer(recvbuffer, dt)
+
+
+def _flat_base(datatype: Datatype) -> Datatype:
+    raise MPIError("allgatherv over non-contiguous element types not supported")
+
+
+def _copy_own(comm, sendbuffer, recvbuffer, datatype, counts, displs) -> Generator:
+    """Place this rank's contribution into its own recvbuffer region."""
+    own = _block_tb(recvbuffer, datatype, counts, displs, comm.rank)
+    if own is None:
+        return
+    stb = as_typed(sendbuffer, datatype, counts[comm.rank])
+    if stb.nbytes != own.nbytes:
+        raise MPIError(
+            f"rank {comm.rank}: send payload {stb.nbytes}B != declared "
+            f"count {counts[comm.rank]}"
+        )
+    own.unpack(stb.pack())
+    yield from comm.cpu(stb.nbytes * comm.cost.copy_byte, "pack")
+
+
+def allgatherv(
+    comm: Comm,
+    sendbuffer,
+    recvbuffer,
+    counts: Sequence[int],
+    displs: Optional[Sequence[int]] = None,
+    datatype: Optional[Datatype] = None,
+    algorithm: Optional[str] = None,
+) -> Generator:
+    """Gather varying-size contributions from every rank onto every rank.
+
+    ``algorithm`` forces a specific algorithm (for microbenchmarks); by
+    default the configuration's selection logic runs.
+    """
+    recvbuffer, datatype, counts, displs = _normalize(
+        comm, sendbuffer, recvbuffer, counts, displs, datatype
+    )
+    yield from _copy_own(comm, sendbuffer, recvbuffer, datatype, counts, displs)
+    if comm.size == 1:
+        return
+
+    if algorithm is None:
+        total_bytes = sum(counts) * datatype.size
+        if (
+            comm.config.adaptive_allgatherv
+            and total_bytes >= comm.config.allgatherv_long_threshold
+        ):
+            # charge the linear-time Floyd-Rivest detection pass
+            yield from comm.cpu(outlier.detection_cpu_seconds(comm.size), "compute")
+        algorithm = _select_algorithm(comm, counts, datatype)
+
+    if algorithm == "ring":
+        yield from _ring(comm, recvbuffer, datatype, counts, displs)
+    elif algorithm == "recursive_doubling":
+        yield from _recursive_doubling(comm, recvbuffer, datatype, counts, displs)
+    elif algorithm == "dissemination":
+        yield from _dissemination(comm, recvbuffer, datatype, counts, displs)
+    else:
+        raise MPIError(f"unknown allgatherv algorithm {algorithm!r}")
+
+
+def _select_algorithm(comm: Comm, counts, datatype) -> str:
+    """Configuration-dependent algorithm selection."""
+    total_bytes = sum(counts) * datatype.size
+    pow2 = comm.size & (comm.size - 1) == 0
+    tree = "recursive_doubling" if pow2 else "dissemination"
+    if total_bytes < comm.config.allgatherv_long_threshold:
+        return tree  # short-message path, both configurations
+    if comm.config.adaptive_allgatherv:
+        # section 4.2.1: linear-time outlier detection over the volume set
+        volumes = [c * datatype.size for c in counts]
+        if outlier.has_outliers(volumes, comm.cost):
+            return tree
+    return "ring"
+
+
+def _ring(comm, recvbuffer, datatype, counts, displs) -> Generator:
+    base = _tag_window(comm)
+    n, rank = comm.size, comm.rank
+    right = (rank + 1) % n
+    left = (rank - 1) % n
+    for step in range(n - 1):
+        send_block = (rank - step) % n
+        recv_block = (rank - step - 1) % n
+        stb = _block_tb(recvbuffer, datatype, counts, displs, send_block)
+        rtb = _block_tb(recvbuffer, datatype, counts, displs, recv_block)
+        yield from _exchange(comm, stb, right, rtb, left, base + step)
+
+
+def _recursive_doubling(comm, recvbuffer, datatype, counts, displs) -> Generator:
+    n, rank = comm.size, comm.rank
+    if n & (n - 1):
+        raise MPIError("recursive doubling requires a power-of-two size")
+    base = _tag_window(comm)
+    mask = 1
+    phase = 0
+    while mask < n:
+        partner = rank ^ mask
+        my_group = rank & ~(mask - 1)
+        partner_group = partner & ~(mask - 1)
+        send_blocks = range(my_group, my_group + mask)
+        recv_blocks = range(partner_group, partner_group + mask)
+        stb = _blocks_tb(recvbuffer, datatype, counts, displs, send_blocks)
+        rtb = _blocks_tb(recvbuffer, datatype, counts, displs, recv_blocks)
+        yield from _exchange(comm, stb, partner, rtb, partner, base + phase)
+        mask <<= 1
+        phase += 1
+
+
+def _dissemination(comm, recvbuffer, datatype, counts, displs) -> Generator:
+    n, rank = comm.size, comm.rank
+    base = _tag_window(comm)
+    dist = 1
+    phase = 0
+    while dist < n:
+        dst = (rank + dist) % n
+        src = (rank - dist) % n
+        nblocks = min(dist, n - dist)
+        send_blocks = [(rank - j) % n for j in range(nblocks)]
+        recv_blocks = [(src - j) % n for j in range(nblocks)]
+        stb = _blocks_tb(recvbuffer, datatype, counts, displs, send_blocks)
+        rtb = _blocks_tb(recvbuffer, datatype, counts, displs, recv_blocks)
+        yield from _exchange(comm, stb, dst, rtb, src, base + phase)
+        dist <<= 1
+        phase += 1
+
+
+def _exchange(comm, stb, dst, rtb, src, tag) -> Generator:
+    """Pairwise sendrecv where either side may be empty."""
+    rreq = comm.irecv(rtb, src, tag) if rtb is not None else None
+    if stb is not None:
+        sreq = yield from comm.isend(stb, dst, tag)
+    else:
+        sreq = None
+    if rreq is not None:
+        yield from rreq.wait()
+    if sreq is not None:
+        yield from sreq.wait()

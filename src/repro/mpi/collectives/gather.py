@@ -1,0 +1,175 @@
+"""Typed gather/scatter collectives: gatherv, scatterv, allgather, alltoall.
+
+The uniform-volume counterparts of the paper's headline collectives,
+implemented with the standard MPICH2 algorithms:
+
+- ``gatherv`` / ``scatterv``: linear to/from the root (MPICH2 uses a
+  binomial tree only for the uniform gather; the v-variants are linear),
+- ``allgather``: delegates to the Allgatherv machinery with uniform counts
+  (so the ring/recursive-doubling/dissemination selection logic applies),
+- ``alltoall``: pairwise-exchange algorithm for uniform volumes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+import numpy as np
+
+from repro.datatypes.packing import TypedBuffer
+from repro.datatypes.typemap import Datatype, Primitive
+from repro.mpi.comm import Comm, MPIError
+from repro.mpi.collectives.basic import _tag_window
+from repro.mpi.request import Request
+
+
+def _dtype_of(arr: np.ndarray, datatype: Optional[Datatype]) -> Datatype:
+    if datatype is not None:
+        return datatype
+    return Primitive(str(arr.dtype).upper(), arr.dtype)
+
+
+def gatherv(
+    comm: Comm,
+    sendbuf,
+    recvbuf=None,
+    counts: Optional[Sequence[int]] = None,
+    displs: Optional[Sequence[int]] = None,
+    root: int = 0,
+    datatype: Optional[Datatype] = None,
+) -> Generator:
+    """Gather varying-size contributions at ``root`` (linear algorithm)."""
+    if not 0 <= root < comm.size:
+        raise MPIError(f"invalid root {root}")
+    send = np.asarray(sendbuf)
+    base = _tag_window(comm)
+    if comm.rank != root:
+        if send.size:  # zero contributions send nothing (root posts no recv)
+            req = yield from comm.isend(send, root, base)
+            yield from req.wait()
+        return None
+    if counts is None or recvbuf is None:
+        raise MPIError("root must supply counts and recvbuf")
+    counts = [int(c) for c in counts]
+    if len(counts) != comm.size:
+        raise MPIError(f"counts has {len(counts)} entries for {comm.size} ranks")
+    recv = np.asarray(recvbuf)
+    dt = _dtype_of(recv, datatype)
+    if displs is None:
+        displs = np.concatenate(([0], np.cumsum(counts[:-1]))).tolist()
+    requests = []
+    for src in range(comm.size):
+        if src == root or counts[src] == 0:
+            continue
+        tb = TypedBuffer(recv, dt, counts[src],
+                         offset_bytes=int(displs[src]) * dt.extent)
+        requests.append(comm.irecv(tb, src, base))
+    # own contribution
+    if counts[root]:
+        own = TypedBuffer(recv, dt, counts[root],
+                          offset_bytes=int(displs[root]) * dt.extent)
+        own.unpack(TypedBuffer(send, dt, counts[root]).pack())
+        yield from comm.cpu(counts[root] * dt.size * comm.cost.copy_byte, "pack")
+    yield from Request.waitall(requests)
+    return recv
+
+
+def scatterv(
+    comm: Comm,
+    sendbuf=None,
+    counts: Optional[Sequence[int]] = None,
+    displs: Optional[Sequence[int]] = None,
+    recvbuf=None,
+    root: int = 0,
+    datatype: Optional[Datatype] = None,
+) -> Generator:
+    """Scatter varying-size pieces from ``root`` (linear algorithm)."""
+    if not 0 <= root < comm.size:
+        raise MPIError(f"invalid root {root}")
+    base = _tag_window(comm)
+    if recvbuf is None:
+        raise MPIError("every rank must supply recvbuf")
+    recv = np.asarray(recvbuf)
+    if comm.rank != root:
+        if recv.size:  # zero pieces are never sent by the root
+            yield from comm.recv(recv, root, base)
+        return recv
+    if counts is None or sendbuf is None:
+        raise MPIError("root must supply counts and sendbuf")
+    counts = [int(c) for c in counts]
+    if len(counts) != comm.size:
+        raise MPIError(f"counts has {len(counts)} entries for {comm.size} ranks")
+    send = np.asarray(sendbuf)
+    dt = _dtype_of(send, datatype)
+    if displs is None:
+        displs = np.concatenate(([0], np.cumsum(counts[:-1]))).tolist()
+    requests = []
+    for dst in range(comm.size):
+        if dst == root or counts[dst] == 0:
+            continue
+        tb = TypedBuffer(send, dt, counts[dst],
+                         offset_bytes=int(displs[dst]) * dt.extent)
+        requests.append((yield from comm.isend(tb, dst, base)))
+    if counts[root]:
+        own = TypedBuffer(send, dt, counts[root],
+                          offset_bytes=int(displs[root]) * dt.extent)
+        TypedBuffer(recv, dt, counts[root]).unpack(own.pack())
+        yield from comm.cpu(counts[root] * dt.size * comm.cost.copy_byte, "pack")
+    yield from Request.waitall(requests)
+    return recv
+
+
+def allgather(
+    comm: Comm,
+    sendbuf,
+    recvbuf,
+    count: Optional[int] = None,
+    datatype: Optional[Datatype] = None,
+) -> Generator:
+    """Uniform allgather: every rank contributes ``count`` elements."""
+    from repro.mpi.collectives.allgatherv import allgatherv
+
+    send = np.asarray(sendbuf)
+    if count is None:
+        count = send.size
+    yield from allgatherv(comm, send, recvbuf, [count] * comm.size,
+                          datatype=datatype)
+
+
+def alltoall(
+    comm: Comm,
+    sendbuf,
+    recvbuf,
+    count: int,
+    datatype: Optional[Datatype] = None,
+) -> Generator:
+    """Uniform all-to-all via the pairwise-exchange algorithm: in step k,
+    rank r exchanges with rank ``r XOR k`` (power-of-two sizes) or with
+    ``(r + k) % N`` / ``(r - k) % N`` otherwise."""
+    send = np.asarray(sendbuf)
+    recv = np.asarray(recvbuf)
+    dt = _dtype_of(recv, datatype)
+    n, rank = comm.size, comm.rank
+    if send.size < n * count or recv.size < n * count:
+        raise MPIError("alltoall buffers too small for count*size elements")
+    base = _tag_window(comm)
+
+    def block(arr, idx):
+        return TypedBuffer(arr, dt, count, offset_bytes=idx * count * dt.extent)
+
+    # local block
+    block(recv, rank).unpack(block(send, rank).pack())
+    yield from comm.cpu(count * dt.size * comm.cost.copy_byte, "pack")
+    pow2 = n & (n - 1) == 0
+    for k in range(1, n):
+        if pow2:
+            peer = rank ^ k
+            sdst = rdst = peer
+        else:
+            sdst = (rank + k) % n
+            rdst = (rank - k) % n
+        rreq = comm.irecv(block(recv, rdst), rdst, base + k)
+        sreq = yield from comm.isend(block(send, sdst), sdst, base + k)
+        yield from rreq.wait()
+        yield from sreq.wait()
+    return recv

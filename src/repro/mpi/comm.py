@@ -1,0 +1,613 @@
+"""Cluster, communicator and point-to-point messaging.
+
+Timing protocol (see DESIGN.md):
+
+- **Datatype processing happens at send-call time on the sender's CPU**, as
+  in MPICH2: ``send``/``isend`` charge the engine-planned look-ahead, search
+  and pack costs before anything reaches the wire.  This is exactly why the
+  baseline ``Alltoallw`` delays small-message peers behind large
+  noncontiguous ones (paper section 3.2) -- the processing is serialised by
+  the host processor.
+- **Eager protocol** (payload <= ``eager_threshold``): the send completes as
+  soon as the payload is packed; delivery proceeds in the background and
+  does not require the receive to be posted first.
+- **Rendezvous protocol** (larger payloads): the wire transfer starts only
+  once the matching receive is posted, and the send completes when the last
+  chunk has left the sender.
+- **The wire** is the :class:`repro.simtime.network.NetworkModel`: every
+  message (even zero-byte) pays ``alpha``; nodes have one send and one
+  receive port, so concurrent messages through a node serialise.
+- **Receiver-side unpack** is charged to the receiver after arrival; the
+  receive completes after it.
+
+Payload bytes genuinely move: the packed numpy bytes of the send buffer are
+unpacked into the receive buffer's typed layout on delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datatypes.engine import make_engine, unpack_stage_cost
+from repro.datatypes.packing import TypedBuffer
+from repro.datatypes.typemap import BYTE, Datatype, Primitive
+from repro.mpi.config import MPIConfig
+from repro.mpi.request import Request, Status
+from repro.simtime.engine import Delay, Engine, SimFuture
+from repro.simtime.network import NetworkModel
+from repro.util.costmodel import CostLedger, CostModel
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: tags at or above this value are reserved for collective operations
+_COLLECTIVE_TAG_BASE = 1_000_000
+
+
+class MPIError(RuntimeError):
+    """Erroneous use of the message-passing API."""
+
+
+class TruncationError(MPIError):
+    """A message arrived that is larger than the posted receive buffer."""
+
+
+def as_typed(
+    buffer: Any,
+    datatype: Optional[Datatype] = None,
+    count: Optional[int] = None,
+    offset_bytes: int = 0,
+) -> TypedBuffer:
+    """Normalise user buffer arguments into a :class:`TypedBuffer`.
+
+    Accepts a ready-made ``TypedBuffer`` or a numpy array (datatype inferred
+    from the array's dtype when not given; count defaults to the whole
+    array).
+    """
+    if isinstance(buffer, TypedBuffer):
+        return buffer
+    arr = np.asarray(buffer)
+    if datatype is None:
+        datatype = Primitive(str(arr.dtype).upper(), arr.dtype)
+    if count is None:
+        if arr.size * arr.itemsize % datatype.extent:
+            raise MPIError(
+                f"buffer of {arr.size * arr.itemsize} bytes does not hold a "
+                f"whole number of {datatype!r} (extent {datatype.extent})"
+            )
+        count = (arr.size * arr.itemsize - offset_bytes) // datatype.extent
+    return TypedBuffer(arr, datatype, count=count, offset_bytes=offset_bytes)
+
+
+class _SendRecord:
+    """Bookkeeping for one in-flight message (ranks are cluster-global)."""
+
+    __slots__ = (
+        "src", "dst", "tag", "ctx", "data", "nbytes", "is_obj",
+        "match_fut", "recv_rec", "sent_fut", "recv_fut", "arrived",
+    )
+
+    def __init__(self, engine: Engine, src: int, dst: int, tag: int,
+                 ctx: Any, data: Any, nbytes: int, is_obj: bool):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.ctx = ctx
+        self.data = data
+        self.nbytes = nbytes
+        self.is_obj = is_obj
+        self.match_fut = engine.future(f"match {src}->{dst} tag={tag}")
+        self.recv_rec: Optional[_RecvRecord] = None
+        self.sent_fut = engine.future(f"sent {src}->{dst} tag={tag}")
+        self.recv_fut: Optional[SimFuture] = None
+        self.arrived = False
+
+
+class _RecvRecord:
+    """A posted receive (``source`` is cluster-global or ANY_SOURCE)."""
+
+    __slots__ = ("source", "tag", "ctx", "tb", "future", "is_obj", "comm")
+
+    def __init__(self, source: int, tag: int, ctx: Any,
+                 tb: Optional[TypedBuffer], future: SimFuture, is_obj: bool,
+                 comm: "Comm"):
+        self.source = source
+        self.tag = tag
+        self.ctx = ctx
+        self.tb = tb
+        self.future = future
+        self.is_obj = is_obj
+        self.comm = comm
+
+    def matches(self, rec: _SendRecord) -> bool:
+        return (
+            self.ctx == rec.ctx
+            and (self.source == ANY_SOURCE or self.source == rec.src)
+            and (self.tag == ANY_TAG or self.tag == rec.tag)
+            and self.is_obj == rec.is_obj
+        )
+
+
+class Cluster:
+    """A simulated cluster running one MPI job.
+
+    >>> cluster = Cluster(4, config=MPIConfig.optimized())
+    >>> def main(comm):
+    ...     yield from comm.barrier()
+    ...     return comm.rank
+    >>> cluster.run(main)
+    [0, 1, 2, 3]
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        config: Optional[MPIConfig] = None,
+        cost: Optional[CostModel] = None,
+        seed: int = 0,
+        heterogeneous: Optional[bool] = None,
+    ):
+        self.nranks = nranks
+        self.config = config or MPIConfig.optimized()
+        self.cost = cost or CostModel()
+        self.engine = Engine()
+        self.net = NetworkModel(
+            self.engine, nranks, cost=self.cost, seed=seed,
+            heterogeneous=heterogeneous,
+        )
+        self.ledgers = [CostLedger() for _ in range(nranks)]
+        self._posted: List[List[_RecvRecord]] = [[] for _ in range(nranks)]
+        self._unexpected: List[List[_SendRecord]] = [[] for _ in range(nranks)]
+        self._comms = [Comm(self, r) for r in range(nranks)]
+
+    def comm(self, rank: int) -> "Comm":
+        return self._comms[rank]
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds since the job started."""
+        return self.engine.now
+
+    def run(self, fn: Callable[..., Generator], *args: Any) -> List[Any]:
+        """Spawn ``fn(comm, *args)`` on every rank; run; return rank results."""
+        return self.engine.run_all(
+            [fn(self._comms[r], *args) for r in range(self.nranks)],
+            names=[f"rank{r}" for r in range(self.nranks)],
+        )
+
+    def ledger_total(self, category: str) -> float:
+        return sum(ledger.get(category) for ledger in self.ledgers)
+
+    def utilization_report(self) -> dict:
+        """Post-run statistics: wall (simulated) time, wire traffic, link
+        occupancy and per-category CPU shares -- the numbers an MPI
+        profiler would summarise."""
+        elapsed = self.elapsed or 1.0
+        send_busy = [p.busy_time for p in self.net.send_ports]
+        recv_busy = [p.busy_time for p in self.net.recv_ports]
+        categories = sorted({k for led in self.ledgers for k in led.totals})
+        return {
+            "elapsed": self.elapsed,
+            "messages": self.net.messages_on_wire,
+            "bytes": self.net.bytes_on_wire,
+            "max_send_link_utilization": max(send_busy) / elapsed if send_busy else 0.0,
+            "max_recv_link_utilization": max(recv_busy) / elapsed if recv_busy else 0.0,
+            "cpu_seconds_by_category": {
+                c: self.ledger_total(c) for c in categories
+            },
+        }
+
+    # -- matching ------------------------------------------------------------
+
+    def _post_send(self, rec: _SendRecord) -> None:
+        posted = self._posted[rec.dst]
+        for i, rrec in enumerate(posted):
+            if rrec.matches(rec):
+                del posted[i]
+                self._bind(rec, rrec)
+                return
+        self._unexpected[rec.dst].append(rec)
+        waiters = getattr(self, "_probe_waiters", None)
+        if waiters:
+            for i, (probe_rrec, fut) in enumerate(waiters.get(rec.dst, [])):
+                if probe_rrec.matches(rec):
+                    del waiters[rec.dst][i]
+                    fut.set_result(rec)
+                    break
+
+    def _post_recv(self, dst: int, rrec: _RecvRecord) -> None:
+        unexpected = self._unexpected[dst]
+        for i, rec in enumerate(unexpected):
+            if rrec.matches(rec):
+                del unexpected[i]
+                self._bind(rec, rrec)
+                return
+        self._posted[dst].append(rrec)
+
+    def _bind(self, rec: _SendRecord, rrec: _RecvRecord) -> None:
+        if not rec.is_obj:
+            capacity = rrec.tb.nbytes if rrec.tb is not None else 0
+            if rec.nbytes > capacity:
+                exc = TruncationError(
+                    f"message {rec.src}->{rec.dst} tag={rec.tag} is "
+                    f"{rec.nbytes} bytes but the receive holds {capacity}"
+                )
+                rrec.future.set_exception(exc)
+                rec.match_fut.set_exception(exc)
+                return
+        rec.recv_rec = rrec
+        rec.recv_fut = rrec.future
+        rec.match_fut.set_result(rrec)
+
+
+class Comm:
+    """A rank-bound communicator handle (what user generators receive).
+
+    A communicator is a *group* of cluster-global ranks plus a matching
+    context: messages only match within the same context, so subgroup
+    communicators (from :meth:`dup`/:meth:`split`) never cross-talk with
+    their parent.  ``rank``/``size`` are communicator-local; the global
+    identity is :attr:`grank`.
+    """
+
+    def __init__(self, cluster: Cluster, rank: int,
+                 group: Optional[Sequence[int]] = None, ctx: Any = 0):
+        self.cluster = cluster
+        self.group = list(group) if group is not None else list(range(cluster.nranks))
+        self.ctx = ctx
+        self.rank = rank                      # communicator-local
+        self.grank = self.group[rank]         # cluster-global
+        self.size = len(self.group)
+        self.config = cluster.config
+        self.cost = cluster.cost
+        self.net = cluster.net
+        self.engine = cluster.engine
+        self.ledger = cluster.ledgers[self.grank]
+        self._ctx_seq = 0
+
+    def _to_global(self, rank: int) -> int:
+        return self.group[rank]
+
+    def _to_local(self, grank: int) -> int:
+        return self.group.index(grank)
+
+    # -- derived communicators ----------------------------------------------------
+
+    def _next_ctx(self) -> Any:
+        """A fresh context id, deterministic per parent communicator (all
+        group members derive the same id by calling in the same order, the
+        usual MPI collective-ordering requirement)."""
+        self._ctx_seq += 1
+        return (self.ctx, self._ctx_seq)
+
+    def dup(self) -> "Comm":
+        """A communicator with the same group but an isolated context
+        (``MPI_Comm_dup``).  Collective over the group."""
+        return Comm(self.cluster, self.rank, self.group, self._next_ctx())
+
+    def split(self, color: Optional[int], key: Optional[int] = None) -> Generator:
+        """Partition the group by ``color`` (``MPI_Comm_split``).
+
+        Ranks passing the same color form a new communicator, ordered by
+        ``(key, old rank)``; ``color=None`` (MPI_UNDEFINED) returns None.
+        Collective over the group -- the color/key exchange costs a real
+        gather + broadcast round.
+        """
+        ctx = self._next_ctx()
+        mine = (color, key if key is not None else self.rank, self.rank)
+        entries = yield from self.gather_obj(mine, root=0)
+        entries = yield from self.bcast(entries, root=0)
+        if color is None:
+            return None
+        members = sorted(
+            (k, r) for c, k, r in entries if c == color
+        )
+        group = [self._to_global(r) for _k, r in members]
+        new_rank = [r for _k, r in members].index(self.rank)
+        return Comm(self.cluster, new_rank, group, (ctx, color))
+
+    # -- CPU accounting --------------------------------------------------------
+
+    def cpu(self, seconds: float, category: str = "compute") -> Generator:
+        """Charge ``seconds`` of nominal CPU work on this rank."""
+        scaled = self.net.cpu_seconds(self.grank, seconds)
+        self.ledger.charge(category, scaled)
+        yield Delay(scaled)
+
+    def compute(self, seconds: float) -> Generator:
+        yield from self.cpu(seconds, "compute")
+
+    # -- point-to-point --------------------------------------------------------
+
+    def isend(
+        self,
+        buffer: Any,
+        dest: int,
+        tag: int = 0,
+        datatype: Optional[Datatype] = None,
+        count: Optional[int] = None,
+        offset_bytes: int = 0,
+    ) -> Generator:
+        """Nonblocking typed send; returns a :class:`Request`.
+
+        Datatype processing (look-ahead / search / pack) is charged inline,
+        on this rank, before the call returns -- see the module docstring.
+        """
+        if not 0 <= dest < self.size:
+            raise MPIError(f"invalid destination rank {dest}")
+        tb = as_typed(buffer, datatype, count, offset_bytes)
+        nbytes = tb.nbytes
+
+        # charge datatype processing
+        if nbytes > 0 and not tb.is_contiguous():
+            engine = make_engine(tb.blocks, self.cost, self.config.dual_context_engine)
+            look = search = pack = 0.0
+            for stage in engine.plan():
+                look += stage.lookahead_s
+                search += stage.search_s
+                pack += stage.pack_s
+            for category, seconds in (("lookahead", look), ("search", search), ("pack", pack)):
+                if seconds:
+                    yield from self.cpu(seconds, category)
+
+        data = tb.pack()
+        rec = _SendRecord(self.engine, self.grank, self._to_global(dest), tag,
+                          self.ctx, data, nbytes, is_obj=False)
+        self.cluster._post_send(rec)
+        self.engine.spawn(self._deliver(rec), f"deliver {self.rank}->{dest}")
+        if nbytes <= self.config.eager_threshold:
+            # eager: the payload is buffered; the send is already complete
+            rec.sent_fut.set_result(None)
+        return Request(rec.sent_fut, "send")
+
+    def send(self, buffer: Any, dest: int, tag: int = 0,
+             datatype: Optional[Datatype] = None, count: Optional[int] = None,
+             offset_bytes: int = 0) -> Generator:
+        """Blocking typed send."""
+        req = yield from self.isend(buffer, dest, tag, datatype, count, offset_bytes)
+        yield from req.wait()
+
+    def irecv(
+        self,
+        buffer: Any,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        datatype: Optional[Datatype] = None,
+        count: Optional[int] = None,
+        offset_bytes: int = 0,
+    ) -> Request:
+        """Nonblocking typed receive; returns a :class:`Request` whose
+        ``wait()`` yields a :class:`Status`."""
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise MPIError(f"invalid source rank {source}")
+        tb = as_typed(buffer, datatype, count, offset_bytes)
+        fut = self.engine.future(f"recv@{self.rank} tag={tag}")
+        gsource = source if source == ANY_SOURCE else self._to_global(source)
+        rrec = _RecvRecord(gsource, tag, self.ctx, tb, fut, is_obj=False, comm=self)
+        self.cluster._post_recv(self.grank, rrec)
+        return Request(fut, "recv")
+
+    def recv(self, buffer: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             datatype: Optional[Datatype] = None, count: Optional[int] = None,
+             offset_bytes: int = 0) -> Generator:
+        """Blocking typed receive; returns a :class:`Status`."""
+        req = self.irecv(buffer, source, tag, datatype, count, offset_bytes)
+        status = yield from req.wait()
+        return status
+
+    # -- probing --------------------------------------------------------------
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:
+        """Non-blocking check for a pending (unexpected) message; returns a
+        :class:`Status` without consuming it, or None."""
+        gsource = source if source == ANY_SOURCE else self._to_global(source)
+        probe_rrec = _RecvRecord(gsource, tag, self.ctx, None, None, False, self)
+        for rec in self.cluster._unexpected[self.grank]:
+            if not rec.is_obj and probe_rrec.matches(rec):
+                return Status(self._to_local(rec.src), rec.tag, rec.nbytes)
+        return None
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking probe: waits until a matching message is pending and
+        returns its :class:`Status` (the message is NOT consumed)."""
+        status = self.iprobe(source, tag)
+        if status is not None:
+            return status
+        gsource = source if source == ANY_SOURCE else self._to_global(source)
+        probe_rrec = _RecvRecord(gsource, tag, self.ctx, None, None, False, self)
+        fut = self.engine.future(f"probe@{self.grank}")
+        waiters = getattr(self.cluster, "_probe_waiters", None)
+        if waiters is None:
+            waiters = self.cluster._probe_waiters = {}
+        waiters.setdefault(self.grank, []).append((probe_rrec, fut))
+        rec = yield fut
+        return Status(self._to_local(rec.src), rec.tag, rec.nbytes)
+
+    def sendrecv(
+        self,
+        sendbuffer: Any,
+        dest: int,
+        recvbuffer: Any,
+        source: int,
+        sendtag: int = 0,
+        recvtag: Optional[int] = None,
+    ) -> Generator:
+        """Simultaneous send and receive (deadlock-free pairwise exchange)."""
+        if recvtag is None:
+            recvtag = sendtag
+        rreq = self.irecv(recvbuffer, source, recvtag)
+        sreq = yield from self.isend(sendbuffer, dest, sendtag)
+        status = yield from rreq.wait()
+        yield from sreq.wait()
+        return status
+
+    # -- control-plane (python object) messages ---------------------------------
+
+    def isend_obj(self, value: Any, dest: int, tag: int, nbytes: int = 64) -> Request:
+        """Send a small python object (control plane); ``nbytes`` is its
+        nominal wire size for timing purposes."""
+        if not 0 <= dest < self.size:
+            raise MPIError(f"invalid destination rank {dest}")
+        rec = _SendRecord(self.engine, self.grank, self._to_global(dest), tag,
+                          self.ctx, value, nbytes, is_obj=True)
+        self.cluster._post_send(rec)
+        self.engine.spawn(self._deliver(rec), f"deliver-obj {self.rank}->{dest}")
+        rec.sent_fut.set_result(None)
+        return Request(rec.sent_fut, "send")
+
+    def recv_obj(self, source: int, tag: int) -> Generator:
+        """Receive a python object; returns the value."""
+        fut = self.engine.future(f"recv-obj@{self.rank} tag={tag}")
+        gsource = source if source == ANY_SOURCE else self._to_global(source)
+        rrec = _RecvRecord(gsource, tag, self.ctx, None, fut, is_obj=True, comm=self)
+        self.cluster._post_recv(self.grank, rrec)
+        value = yield fut
+        return value
+
+    # -- delivery ------------------------------------------------------------------
+
+    def _deliver(self, rec: _SendRecord) -> Generator:
+        """Background process that moves one message across the wire."""
+        cost = self.cost
+        rendezvous = rec.nbytes > self.config.eager_threshold
+        if rendezvous:
+            yield rec.match_fut  # wire starts only once the receive is posted
+
+        # wire time: contiguous payloads go as one transfer; packed
+        # noncontiguous payloads flow in pipeline chunks
+        start = self.engine.now
+        if rec.nbytes <= cost.pipeline_chunk or rec.is_obj:
+            yield from self.net.transfer(rec.src, rec.dst, rec.nbytes)
+        else:
+            pos = 0
+            while pos < rec.nbytes:
+                chunk = min(cost.pipeline_chunk, rec.nbytes - pos)
+                yield from self.net.transfer(rec.src, rec.dst, chunk)
+                pos += chunk
+        self.cluster.ledgers[rec.src].charge("comm", self.engine.now - start)
+        rec.arrived = True
+        if rendezvous:
+            rec.sent_fut.set_result(None)
+
+        if not rec.match_fut.done:
+            yield rec.match_fut
+        rrec = rec.recv_rec
+        assert rrec is not None
+
+        if rec.is_obj:
+            rrec.future.set_result(rec.data)
+            return
+
+        # receiver-side unpack: charged on the receiver's CPU
+        tb = rrec.tb
+        if rec.nbytes > 0 and not tb.is_contiguous():
+            first, last = tb.blocks.blocks_in_range(0, rec.nbytes)
+            seconds = unpack_stage_cost(rec.nbytes, last - first, cost, contiguous=False)
+            scaled = self.net.cpu_seconds(rec.dst, seconds)
+            self.cluster.ledgers[rec.dst].charge("pack", scaled)
+            yield Delay(scaled)
+
+        # functional delivery
+        if rec.nbytes == tb.nbytes:
+            tb.unpack(rec.data)
+        elif rec.nbytes > 0:
+            if tb.is_contiguous():
+                partial = TypedBuffer(tb.buffer, BYTE, count=rec.nbytes,
+                                      offset_bytes=tb.offset_bytes)
+                partial.unpack(rec.data)
+            else:
+                raise MPIError(
+                    "partial delivery into a noncontiguous receive type is "
+                    "not supported"
+                )
+        rrec.future.set_result(
+            Status(rrec.comm._to_local(rec.src), rec.tag, rec.nbytes)
+        )
+
+    # -- collectives (implemented in repro.mpi.collectives) -------------------------
+
+    def barrier(self) -> Generator:
+        from repro.mpi.collectives.basic import barrier
+        yield from barrier(self)
+
+    def bcast(self, value: Any, root: int = 0) -> Generator:
+        from repro.mpi.collectives.basic import bcast
+        result = yield from bcast(self, value, root)
+        return result
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Generator:
+        from repro.mpi.collectives.basic import allreduce
+        result = yield from allreduce(self, value, op)
+        return result
+
+    def gather_obj(self, value: Any, root: int = 0) -> Generator:
+        from repro.mpi.collectives.basic import gather_obj
+        result = yield from gather_obj(self, value, root)
+        return result
+
+    def allgatherv(
+        self,
+        sendbuffer: Any,
+        recvbuffer: np.ndarray,
+        counts: Sequence[int],
+        displs: Optional[Sequence[int]] = None,
+        datatype: Optional[Datatype] = None,
+    ) -> Generator:
+        from repro.mpi.collectives.allgatherv import allgatherv
+        yield from allgatherv(self, sendbuffer, recvbuffer, counts, displs, datatype)
+
+    def alltoallw(
+        self,
+        sendspecs: Sequence[Optional[TypedBuffer]],
+        recvspecs: Sequence[Optional[TypedBuffer]],
+    ) -> Generator:
+        from repro.mpi.collectives.alltoallw import alltoallw
+        yield from alltoallw(self, sendspecs, recvspecs)
+
+    def reduce(self, sendbuf, recvbuf=None, op=None, root: int = 0) -> Generator:
+        from repro.mpi.collectives.reduce import reduce as _reduce
+        result = yield from _reduce(
+            self, sendbuf, recvbuf, op if op is not None else np.add, root
+        )
+        return result
+
+    def allreduce_array(self, sendbuf, recvbuf=None, op=None) -> Generator:
+        from repro.mpi.collectives.reduce import allreduce_array
+        result = yield from allreduce_array(
+            self, sendbuf, recvbuf, op if op is not None else np.add
+        )
+        return result
+
+    def scan(self, sendbuf, recvbuf=None, op=None) -> Generator:
+        from repro.mpi.collectives.reduce import scan as _scan
+        result = yield from _scan(
+            self, sendbuf, recvbuf, op if op is not None else np.add
+        )
+        return result
+
+    def gatherv(self, sendbuf, recvbuf=None, counts=None, displs=None,
+                root: int = 0, datatype=None) -> Generator:
+        from repro.mpi.collectives.gather import gatherv
+        result = yield from gatherv(
+            self, sendbuf, recvbuf, counts, displs, root, datatype
+        )
+        return result
+
+    def scatterv(self, sendbuf=None, counts=None, displs=None, recvbuf=None,
+                 root: int = 0, datatype=None) -> Generator:
+        from repro.mpi.collectives.gather import scatterv
+        result = yield from scatterv(
+            self, sendbuf, counts, displs, recvbuf, root, datatype
+        )
+        return result
+
+    def allgather(self, sendbuf, recvbuf, count=None, datatype=None) -> Generator:
+        from repro.mpi.collectives.gather import allgather
+        yield from allgather(self, sendbuf, recvbuf, count, datatype)
+
+    def alltoall(self, sendbuf, recvbuf, count: int, datatype=None) -> Generator:
+        from repro.mpi.collectives.gather import alltoall
+        result = yield from alltoall(self, sendbuf, recvbuf, count, datatype)
+        return result

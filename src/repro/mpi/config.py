@@ -1,0 +1,59 @@
+"""MPI implementation configuration: baseline vs optimised, plus ablations.
+
+Every optimisation the paper proposes is an independent toggle so the
+benchmark suite can measure each one's contribution separately
+(``benchmarks/test_ablations.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MPIConfig:
+    """Feature flags and protocol thresholds of the simulated MPI stack."""
+
+    name: str
+
+    #: section 4.1 -- dual-context look-ahead datatype engine
+    dual_context_engine: bool
+
+    #: section 4.2.1 -- detect volume outliers and switch Allgatherv to
+    #: recursive doubling / dissemination instead of the ring
+    adaptive_allgatherv: bool
+
+    #: section 4.2.2 -- Alltoallw bins: exempt zero-size peers, process
+    #: small messages before large ones
+    binned_alltoallw: bool
+
+    #: eager/rendezvous protocol switch (bytes)
+    eager_threshold: int = 12 * 1024
+
+    #: Allgatherv total payload at/above which the baseline picks the ring
+    #: algorithm (the "large message" regime of section 3.2)
+    allgatherv_long_threshold: int = 16 * 1024
+
+    @classmethod
+    def baseline(cls) -> "MPIConfig":
+        """Stock MVAPICH2-0.9.5 / MPICH2 behaviour (the paper's baseline)."""
+        return cls(
+            name="MVAPICH2-0.9.5",
+            dual_context_engine=False,
+            adaptive_allgatherv=False,
+            binned_alltoallw=False,
+        )
+
+    @classmethod
+    def optimized(cls) -> "MPIConfig":
+        """All of the paper's optimisations enabled ("MVAPICH2-New")."""
+        return cls(
+            name="MVAPICH2-New",
+            dual_context_engine=True,
+            adaptive_allgatherv=True,
+            binned_alltoallw=True,
+        )
+
+    def with_(self, **kwargs) -> "MPIConfig":
+        """A copy with selected flags replaced (for ablation studies)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,62 @@
+"""Outlier detection in communication-volume sets (paper section 4.2.1).
+
+The paper formulates "is this Allgatherv nonuniform enough to abandon the
+ring algorithm?" as an outlier-detection problem over ``COMM_VOL_SET`` (the
+per-rank volumes, already known to every process in an Allgatherv), Eq. 1::
+
+            k_select(COMM_VOL_SET, N)
+    ratio = ------------------------------------------
+            k_select(COMM_VOL_SET, N x OUTLIER_FRACT)
+
+with ``k_select`` evaluated by the Floyd-Rivest linear-time selection
+algorithm.  The numerator is the maximum volume; the denominator is the
+upper edge of the "bulk" of the distribution -- the k-th smallest volume
+with ``k = ceil(N x (1 - OUTLIER_FRACT))``, i.e. allowing at most an
+``OUTLIER_FRACT`` fraction of processes to sit above it.  A ratio above the
+threshold means a small subset of processes carries disproportionately
+large volumes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.util.costmodel import CostModel
+from repro.util.kselect import k_select
+
+#: nominal CPU cost per set element of the linear-time detection pass
+DETECT_COST_PER_ELEMENT = 5e-9
+
+
+def outlier_ratio(volumes: Sequence[int], outlier_fraction: float) -> float:
+    """Eq. 1: max volume over the bulk's upper-edge volume.
+
+    Returns ``inf`` when the bulk is all zeros but the maximum is not
+    (e.g. one rank sends data and everyone else sends nothing).
+    """
+    n = len(volumes)
+    if n == 0:
+        raise ValueError("empty volume set")
+    if not 0.0 < outlier_fraction < 1.0:
+        raise ValueError(f"outlier_fraction must be in (0, 1), got {outlier_fraction}")
+    vmax = k_select(volumes, n)
+    if n == 1:
+        return 1.0
+    # the bulk's upper edge excludes at least one candidate outlier, and at
+    # most an OUTLIER_FRACT fraction of the set
+    n_outliers = max(1, math.floor(n * outlier_fraction))
+    bulk_edge = k_select(volumes, n - n_outliers)
+    if bulk_edge <= 0:
+        return math.inf if vmax > 0 else 1.0
+    return vmax / bulk_edge
+
+
+def has_outliers(volumes: Sequence[int], cost: CostModel) -> bool:
+    """Decision used by the adaptive Allgatherv."""
+    return outlier_ratio(volumes, cost.outlier_fraction) > cost.outlier_ratio_threshold
+
+
+def detection_cpu_seconds(n: int) -> float:
+    """Nominal CPU cost of the linear-time detection over ``n`` volumes."""
+    return n * DETECT_COST_PER_ELEMENT

@@ -1,0 +1,82 @@
+"""Request and Status objects for nonblocking operations."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.simtime.engine import SimFuture
+
+
+class Status:
+    """Completion information of a receive (MPI_Status)."""
+
+    __slots__ = ("source", "tag", "nbytes")
+
+    def __init__(self, source: int, tag: int, nbytes: int):
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Status(source={self.source}, tag={self.tag}, nbytes={self.nbytes})"
+
+
+class Request:
+    """Handle for a pending nonblocking send or receive.
+
+    ``yield from req.wait()`` blocks the calling process until completion and
+    returns the :class:`Status` (receives) or ``None`` (sends).
+    """
+
+    __slots__ = ("_future", "kind")
+
+    def __init__(self, future: SimFuture, kind: str):
+        self._future = future
+        self.kind = kind
+
+    @property
+    def done(self) -> bool:
+        return self._future.done
+
+    def wait(self) -> Generator:
+        result = yield self._future
+        return result
+
+    @staticmethod
+    def waitall(requests: list["Request"]) -> Generator:
+        """Complete every request; returns their results in order."""
+        results = []
+        for req in requests:
+            results.append((yield from req.wait()))
+        return results
+
+    @staticmethod
+    def waitany(requests: list["Request"]) -> Generator:
+        """Block until one request completes; returns ``(index, result)``.
+
+        If several are already complete, the lowest index wins (like
+        ``MPI_Waitany``).  The returned request is finished; the others are
+        untouched and can be waited on later.
+        """
+        if not requests:
+            raise ValueError("waitany of no requests")
+        for i, req in enumerate(requests):
+            if req.done:
+                result = yield from req.wait()
+                return i, result
+        engine = requests[0]._future.engine
+        winner = engine.future("waitany")
+        state = {"done": False}
+
+        def make_cb(index):
+            def cb(_fut):
+                if not state["done"]:
+                    state["done"] = True
+                    winner.set_result(index)
+            return cb
+
+        for i, req in enumerate(requests):
+            req._future.add_done_callback(make_cb(i))
+        index = yield winner
+        result = yield from requests[index].wait()
+        return index, result

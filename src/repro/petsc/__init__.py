@@ -1,0 +1,61 @@
+"""A PETSc-like toolkit on top of the simulated MPI library.
+
+Implements the abstractions the paper's evaluation exercises (section 2):
+
+- :mod:`repro.petsc.vec` -- distributed vectors (``Vec``) and ownership
+  layouts,
+- :mod:`repro.petsc.indexset` -- index sets (``IS``): general, strided,
+  blocked,
+- :mod:`repro.petsc.scatter` -- ``VecScatter`` with the paper's three
+  communication paths: *hand-tuned* explicit pack + point-to-point (PETSc's
+  default), and *MPI datatypes + collectives* (``Alltoallw`` with
+  ``Indexed`` types) running over either the baseline or the optimised MPI
+  configuration,
+- :mod:`repro.petsc.dmda` -- distributed structured-grid arrays (``DMDA``)
+  in 1/2/3-D with star/box stencils, interlaced dof and ghost updates,
+- :mod:`repro.petsc.mat` -- matrix-free stencil operators (Laplacian),
+- :mod:`repro.petsc.ksp` -- Krylov/relaxation solvers (CG, Richardson),
+- :mod:`repro.petsc.mg` -- geometric multigrid (the 3-D Laplacian solver
+  application of section 5.5 builds on this).
+"""
+
+from repro.petsc.vec import Layout, PETScError, Vec
+from repro.petsc.indexset import IS, BlockIS, GeneralIS, StrideIS
+from repro.petsc.scatter import VecScatter
+from repro.petsc.dmda import DMDA
+from repro.petsc.mat import Laplacian, Operator
+from repro.petsc.aij import AIJMat
+from repro.petsc.ksp import BiCGStab, CG, GMRES, Chebyshev, Richardson, SolveResult
+from repro.petsc.pc import BlockJacobiPC, JacobiPC
+from repro.petsc.mg import MGSolver
+from repro.petsc.snes import NewtonKrylov, SNESResult
+from repro.petsc.ts import backward_euler, explicit_euler, rk4
+
+__all__ = [
+    "AIJMat",
+    "BiCGStab",
+    "BlockJacobiPC",
+    "CG",
+    "Chebyshev",
+    "DMDA",
+    "GMRES",
+    "IS",
+    "BlockIS",
+    "GeneralIS",
+    "JacobiPC",
+    "Laplacian",
+    "Layout",
+    "MGSolver",
+    "NewtonKrylov",
+    "Operator",
+    "PETScError",
+    "Richardson",
+    "SNESResult",
+    "SolveResult",
+    "StrideIS",
+    "Vec",
+    "VecScatter",
+    "backward_euler",
+    "explicit_euler",
+    "rk4",
+]

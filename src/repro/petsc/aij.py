@@ -1,0 +1,290 @@
+"""Distributed sparse matrices in AIJ (CSR) format (PETSc's ``MatAIJ``).
+
+Rows are partitioned by a :class:`repro.petsc.vec.Layout`.  Any rank may set
+any entry; off-rank entries are *stashed* and shipped to their owners during
+:meth:`AIJMat.assemble`, exactly like PETSc's ``MatSetValues`` /
+``MatAssemblyBegin/End`` protocol.
+
+After assembly each rank holds two local CSR blocks, as PETSc does:
+
+- the **diagonal block** (columns this rank owns): applied against the
+  local part of ``x`` directly,
+- the **off-diagonal block** (remote columns, compressed to the rank's
+  ``garray`` of needed global columns): applied against ghost values
+  gathered through a :class:`repro.petsc.scatter.VecScatter`.
+
+So every ``mult`` is a nonuniform, noncontiguous neighbour communication --
+the same pattern the paper studies -- followed by two local SpMVs
+(scipy.sparse does the flops; simulated time is charged per nonzero).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.mpi.comm import Comm
+from repro.mpi.collectives.basic import _tag_window
+from repro.mpi.request import Request
+from repro.petsc.mat import Operator
+from repro.petsc.scatter import VecScatter
+from repro.petsc.vec import Layout, PETScError, Vec
+
+#: flops charged per stored nonzero per multiply (one mul + one add)
+FLOPS_PER_NNZ = 2.0
+
+
+class AIJMat(Operator):
+    """A distributed CSR matrix.
+
+    >>> A = AIJMat(comm, Layout(comm.size, n))
+    >>> A.set_values(rows, cols, vals)         # any rank, any rows
+    >>> yield from A.assemble(backend="datatype")
+    >>> yield from A.mult(x, y)                # y = A x
+    """
+
+    def __init__(self, comm: Comm, row_layout: Layout,
+                 col_layout: Optional[Layout] = None):
+        self.comm = comm
+        self.rows = row_layout
+        self.cols = col_layout or row_layout
+        if self.rows.nranks != comm.size or self.cols.nranks != comm.size:
+            raise PETScError("layout rank count mismatch")
+        # COO staging: local triples plus per-owner stashes
+        self._coo_i: List[np.ndarray] = []
+        self._coo_j: List[np.ndarray] = []
+        self._coo_v: List[np.ndarray] = []
+        self._stash: Dict[int, List[np.ndarray]] = {}
+        self._assembled = False
+        self._insert_mode: Optional[str] = None
+        # post-assembly state
+        self.diag: Optional[sp.csr_matrix] = None
+        self.offdiag: Optional[sp.csr_matrix] = None
+        self.garray: Optional[np.ndarray] = None
+        self._gather: Optional[VecScatter] = None
+        self._lvec: Optional[np.ndarray] = None
+        self.backend = "datatype"
+
+    # -- entry staging -------------------------------------------------------
+
+    def set_values(self, rows: Sequence[int], cols: Sequence[int],
+                   vals: Sequence[float], mode: str = "add") -> None:
+        """Stage entries; duplicate (row, col) pairs accumulate when
+        ``mode='add'`` (the only supported mode, as in FEM assembly)."""
+        if self._assembled:
+            raise PETScError("matrix already assembled")
+        if mode != "add":
+            raise PETScError("only mode='add' is supported")
+        i = np.asarray(rows, dtype=np.int64).reshape(-1)
+        j = np.asarray(cols, dtype=np.int64).reshape(-1)
+        v = np.asarray(vals, dtype=np.float64).reshape(-1)
+        if not (i.shape == j.shape == v.shape):
+            raise PETScError("rows/cols/vals must have equal lengths")
+        if i.size == 0:
+            return
+        if i.min() < 0 or i.max() >= self.rows.global_size:
+            raise PETScError("row index out of range")
+        if j.min() < 0 or j.max() >= self.cols.global_size:
+            raise PETScError("column index out of range")
+        owner = self.rows.owners(i)
+        mine = owner == self.comm.rank
+        if np.any(mine):
+            self._coo_i.append(i[mine])
+            self._coo_j.append(j[mine])
+            self._coo_v.append(v[mine])
+        for peer in np.unique(owner[~mine]):
+            sel = owner == peer
+            triple = np.stack(
+                [i[sel].astype(np.float64), j[sel].astype(np.float64), v[sel]]
+            )
+            self._stash.setdefault(int(peer), []).append(triple)
+
+    def set_value(self, row: int, col: int, val: float) -> None:
+        self.set_values([row], [col], [val])
+
+    # -- assembly --------------------------------------------------------------
+
+    def assemble(self, backend: str = "datatype") -> Generator:
+        """Ship stashed entries to their owners, build the CSR blocks and
+        the ghost-column gather scatter."""
+        if self._assembled:
+            raise PETScError("matrix already assembled")
+        comm = self.comm
+        self.backend = backend
+        base = _tag_window(comm)
+
+        # exchange stash sizes (entries destined for each rank)
+        out_counts = np.zeros(comm.size)
+        for peer, triples in self._stash.items():
+            out_counts[peer] = sum(t.shape[1] for t in triples)
+        in_counts = np.zeros(comm.size)
+        yield from comm.alltoall(out_counts, in_counts, 1)
+
+        # ship the triples
+        requests: List[Request] = []
+        incoming: List[Tuple[int, np.ndarray]] = []
+        for peer in range(comm.size):
+            n_in = int(in_counts[peer])
+            if n_in and peer != comm.rank:
+                buf = np.empty(3 * n_in)
+                incoming.append((peer, buf))
+                requests.append(comm.irecv(buf, peer, base))
+        for peer, triples in sorted(self._stash.items()):
+            # concatenate the (3, n_k) stash blocks into one (3, n) payload
+            stacked = np.hstack(triples)
+            requests.append(
+                (yield from comm.isend(np.ascontiguousarray(stacked.reshape(-1)),
+                                       peer, base))
+            )
+        yield from Request.waitall(requests)
+        for _peer, buf in incoming:
+            t = buf.reshape(3, -1)
+            self._coo_i.append(t[0].astype(np.int64))
+            self._coo_j.append(t[1].astype(np.int64))
+            self._coo_v.append(t[2])
+        self._stash.clear()
+
+        # build local CSR blocks
+        nlocal = self.rows.local_size(comm.rank)
+        row_start = self.rows.start(comm.rank)
+        col_start = self.cols.start(comm.rank)
+        col_end = self.cols.end(comm.rank)
+        if self._coo_i:
+            i = np.concatenate(self._coo_i) - row_start
+            j = np.concatenate(self._coo_j)
+            v = np.concatenate(self._coo_v)
+        else:
+            i = np.empty(0, dtype=np.int64)
+            j = np.empty(0, dtype=np.int64)
+            v = np.empty(0)
+        self._coo_i = self._coo_j = self._coo_v = []
+        local_cols = (j >= col_start) & (j < col_end)
+        ncols_local = col_end - col_start
+        self.diag = sp.csr_matrix(
+            (v[local_cols], (i[local_cols], j[local_cols] - col_start)),
+            shape=(nlocal, ncols_local),
+        )
+        self.garray = np.unique(j[~local_cols])
+        cmap = {int(g): k for k, g in enumerate(self.garray)}
+        jr = np.array([cmap[int(c)] for c in j[~local_cols]], dtype=np.int64)
+        self.offdiag = sp.csr_matrix(
+            (v[~local_cols], (i[~local_cols], jr)),
+            shape=(nlocal, len(self.garray)),
+        )
+        self._lvec = np.zeros(len(self.garray))
+
+        # charge assembly CPU: sorting/merging the received entries
+        yield from comm.cpu(
+            (self.diag.nnz + self.offdiag.nnz) * 20e-9, "compute"
+        )
+        yield from self._build_gather(base)
+        self._assembled = True
+
+    def _build_gather(self, base: int) -> Generator:
+        """Set up the ghost-column gather: tell each owner which of its
+        entries this rank needs (a real setup round-trip, as in PETSc)."""
+        comm = self.comm
+        owner = self.cols.owners(self.garray) if len(self.garray) else \
+            np.empty(0, dtype=np.int64)
+        recv_map: Dict[int, np.ndarray] = {}
+        local_pairs = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        want: Dict[int, np.ndarray] = {}
+        positions = np.arange(len(self.garray), dtype=np.int64)
+        for peer in np.unique(owner):
+            sel = owner == peer
+            if int(peer) == comm.rank:
+                local_pairs = (
+                    self.cols.to_local(self.garray[sel], comm.rank),
+                    positions[sel],
+                )
+            else:
+                want[int(peer)] = self.garray[sel]
+                recv_map[int(peer)] = positions[sel]
+        # counts, then index lists
+        out_counts = np.zeros(comm.size)
+        for peer, ids in want.items():
+            out_counts[peer] = len(ids)
+        in_counts = np.zeros(comm.size)
+        yield from comm.alltoall(out_counts, in_counts, 1)
+        requests: List[Request] = []
+        incoming: List[Tuple[int, np.ndarray]] = []
+        for peer in range(comm.size):
+            n_in = int(in_counts[peer])
+            if n_in and peer != comm.rank:
+                buf = np.empty(n_in)
+                incoming.append((peer, buf))
+                requests.append(comm.irecv(buf, peer, base + 8))
+        for peer, ids in sorted(want.items()):
+            requests.append(
+                (yield from comm.isend(ids.astype(np.float64), peer, base + 8))
+            )
+        yield from Request.waitall(requests)
+        send_map: Dict[int, np.ndarray] = {}
+        for peer, buf in incoming:
+            send_map[peer] = self.cols.to_local(buf.astype(np.int64), comm.rank)
+        self._gather = VecScatter(comm, send_map, recv_map, local_pairs)
+
+    # -- application --------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        if not self._assembled:
+            raise PETScError("matrix not assembled")
+        return int(self.diag.nnz + self.offdiag.nnz)
+
+    def mult(self, x: Vec, y: Vec) -> Generator:
+        """y = A x (ghost-column gather + two local SpMVs)."""
+        if not self._assembled:
+            raise PETScError("matrix not assembled")
+        if x.layout != self.cols or y.layout != self.rows:
+            raise PETScError("vector layouts do not match the matrix")
+        comm = self.comm
+        yield from self._gather.scatter(x.local, self._lvec, backend=self.backend)
+        result = self.diag @ x.local
+        if self.offdiag.nnz:
+            result += self.offdiag @ self._lvec
+        y.local[:] = result
+        yield from comm.cpu(self.nnz * comm.cost.flop * FLOPS_PER_NNZ)
+
+    def mult_transpose(self, x: Vec, y: Vec) -> Generator:
+        """y = A^T x: local transposed SpMVs plus a reverse (ADD) scatter of
+        the off-diagonal contributions back to their column owners."""
+        if not self._assembled:
+            raise PETScError("matrix not assembled")
+        if x.layout != self.rows or y.layout != self.cols:
+            raise PETScError("vector layouts do not match the transpose")
+        comm = self.comm
+        y.local[:] = self.diag.T @ x.local
+        if len(self.garray):
+            ghost_contrib = self.offdiag.T @ x.local
+            # reverse scatter: ghost slots accumulate into their owners
+            yield from self._gather.reversed().scatter(
+                ghost_contrib, y.local, backend=self.backend, mode="add"
+            )
+        yield from comm.cpu(self.nnz * comm.cost.flop * FLOPS_PER_NNZ)
+
+    def scale(self, alpha: float) -> None:
+        """A *= alpha (local operation)."""
+        if not self._assembled:
+            raise PETScError("matrix not assembled")
+        self.diag *= alpha
+        self.offdiag *= alpha
+
+    def shift(self, alpha: float) -> None:
+        """A += alpha I (square matrices with matching layouts only)."""
+        if not self._assembled:
+            raise PETScError("matrix not assembled")
+        if self.rows != self.cols:
+            raise PETScError("shift of a non-square matrix")
+        n = self.diag.shape[0]
+        self.diag = (self.diag + alpha * sp.eye(n, format="csr")).tocsr()
+
+    def norm_frobenius(self) -> Generator:
+        """The global Frobenius norm (one allreduce)."""
+        if not self._assembled:
+            raise PETScError("matrix not assembled")
+        partial = float((self.diag.data**2).sum() + (self.offdiag.data**2).sum())
+        total = yield from self.comm.allreduce(partial)
+        return float(np.sqrt(total))

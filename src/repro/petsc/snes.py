@@ -1,0 +1,134 @@
+"""SNES: nonlinear equation solvers (Newton-Krylov with line search).
+
+The PETSc architecture diagram the paper reproduces (Fig. 1) stacks SNES on
+top of KSP; this module completes that stack.  ``NewtonKrylov`` solves
+``F(x) = 0`` with:
+
+- a user residual callback ``F(x, f)`` (a generator: it may communicate --
+  e.g. ghost exchanges inside a nonlinear stencil),
+- a **matrix-free Jacobian**: directional derivatives
+  ``J(x) v ~ (F(x + h v) - F(x)) / h`` (PETSc's ``-snes_mf``), so every
+  Krylov iteration costs one extra residual evaluation and its
+  communication,
+- inner GMRES solves with an Eisenstat-Walker-style loose tolerance,
+- backtracking line search on ``||F||``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional
+
+import numpy as np
+
+from repro.petsc.ksp import GMRES, SolveResult
+from repro.petsc.mat import Operator
+from repro.petsc.vec import PETScError, Vec
+
+#: residual callback signature: fn(x, f) -> generator, leaves F(x) in f
+ResidualFn = Callable[[Vec, Vec], Generator]
+
+
+class _MatrixFreeJacobian(Operator):
+    """J(x0) v via one-sided finite differences of the residual."""
+
+    def __init__(self, residual: ResidualFn, x0: Vec, f0: Vec):
+        # NOTE: stored under a private name -- Operator.residual(b, x, r) is
+        # a method GMRES calls, and must not be shadowed by the callback
+        self._residual_fn = residual
+        self.x0 = x0
+        self.f0 = f0
+        self._xp = x0.duplicate()
+        self._fp = x0.duplicate()
+
+    def mult(self, v: Vec, y: Vec) -> Generator:
+        vnorm = yield from v.norm()
+        if vnorm == 0.0:
+            yield from y.set(0.0)
+            return
+        xnorm = yield from self.x0.norm()
+        h = 1e-7 * max(xnorm, 1.0) / vnorm
+        self._xp.copy_from(self.x0)
+        yield from self._xp.axpy(h, v)
+        yield from self._residual_fn(self._xp, self._fp)
+        # y = (F(x+hv) - F(x)) / h
+        yield from y.waxpy(-1.0, self.f0, self._fp)
+        yield from y.scale(1.0 / h)
+
+
+@dataclass
+class SNESResult:
+    converged: bool
+    iterations: int
+    residual_norms: List[float] = field(default_factory=list)
+    linear_iterations: int = 0
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1] if self.residual_norms else float("nan")
+
+
+def NewtonKrylov(
+    residual: ResidualFn,
+    x: Vec,
+    rtol: float = 1e-8,
+    atol: float = 1e-12,
+    maxits: int = 50,
+    linear_rtol: float = 1e-4,
+    linear_maxits: int = 200,
+    max_backtracks: int = 8,
+) -> Generator:
+    """Solve ``F(x) = 0``; the solution accumulates into ``x``.
+
+    Returns a :class:`SNESResult`.  Each Newton step solves
+    ``J(x) dx = -F(x)`` with matrix-free GMRES, then backtracks along
+    ``x + lam dx`` until ``||F|| `` decreases.
+    """
+    if maxits < 0:
+        raise PETScError("negative iteration limit")
+    f = x.duplicate()
+    dx = x.duplicate()
+    trial = x.duplicate()
+    ftrial = x.duplicate()
+    rhs = x.duplicate()
+    norms: List[float] = []
+    linear_total = 0
+
+    yield from residual(x, f)
+    fnorm = yield from f.norm()
+    norms.append(fnorm)
+    target = max(atol, rtol * fnorm)
+    if fnorm <= target:
+        return SNESResult(True, 0, norms, 0)
+
+    for it in range(1, maxits + 1):
+        J = _MatrixFreeJacobian(residual, x, f)
+        rhs.copy_from(f)
+        yield from rhs.scale(-1.0)
+        yield from dx.set(0.0)
+        lin = yield from GMRES(
+            J, rhs, dx, restart=min(30, linear_maxits),
+            rtol=linear_rtol, maxits=linear_maxits,
+        )
+        linear_total += lin.iterations
+        # backtracking line search on ||F(x + lam dx)||
+        lam = 1.0
+        accepted = False
+        for _ in range(max_backtracks + 1):
+            trial.copy_from(x)
+            yield from trial.axpy(lam, dx)
+            yield from residual(trial, ftrial)
+            tnorm = yield from ftrial.norm()
+            if tnorm < fnorm * (1.0 - 1e-4 * lam) or tnorm <= target:
+                accepted = True
+                break
+            lam *= 0.5
+        if not accepted:
+            return SNESResult(False, it, norms, linear_total)
+        x.copy_from(trial)
+        f.copy_from(ftrial)
+        fnorm = tnorm
+        norms.append(fnorm)
+        if fnorm <= target:
+            return SNESResult(True, it, norms, linear_total)
+    return SNESResult(False, maxits, norms, linear_total)

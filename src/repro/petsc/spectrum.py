@@ -1,0 +1,60 @@
+"""Eigenvalue estimation for SPD operators (power iteration).
+
+Chebyshev smoothing/solving needs spectrum bounds; PETSc estimates them
+with a few Krylov iterations (``-ksp_chebyshev_esteig``).  Here a plain
+power method estimates ``lambda_max``; the smoothing range is then taken as
+``[lambda_max / divisor, lambda_max * safety]``, the standard multigrid
+smoother recipe (only the upper part of the spectrum must be damped).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Tuple
+
+import numpy as np
+
+from repro.petsc.mat import Operator
+from repro.petsc.vec import PETScError, Vec
+
+
+def estimate_lambda_max(
+    op: Operator,
+    template: Vec,
+    iterations: int = 12,
+    seed: int = 7,
+) -> Generator:
+    """Estimate the largest eigenvalue of an SPD operator by power
+    iteration; returns the Rayleigh-quotient estimate."""
+    if iterations < 1:
+        raise PETScError("need at least one power iteration")
+    x = template.duplicate()
+    y = template.duplicate()
+    rng = np.random.default_rng(seed + template.comm.rank)
+    x.local[:] = rng.random(x.local_size) + 0.1
+    nrm = yield from x.norm()
+    yield from x.scale(1.0 / nrm)
+    lam = 0.0
+    for _ in range(iterations):
+        yield from op.mult(x, y)
+        lam = yield from x.dot(y)  # Rayleigh quotient (||x|| = 1)
+        nrm = yield from y.norm()
+        if nrm == 0.0:
+            return 0.0
+        x.copy_from(y)
+        yield from x.scale(1.0 / nrm)
+    return float(lam)
+
+
+def smoothing_range(
+    op: Operator,
+    template: Vec,
+    divisor: float = 10.0,
+    safety: float = 1.05,
+    iterations: int = 12,
+) -> Generator:
+    """(eig_min, eig_max) bounds for a Chebyshev *smoother*: cover the
+    upper ``1/divisor`` fraction of the spectrum (PETSc default ~0.1)."""
+    lam = yield from estimate_lambda_max(op, template, iterations)
+    if lam <= 0:
+        raise PETScError(f"nonpositive lambda_max estimate {lam}")
+    return lam / divisor, lam * safety

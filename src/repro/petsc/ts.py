@@ -1,0 +1,105 @@
+"""TS: time-stepping methods (the top layer of the paper's Fig. 1).
+
+Integrates ``u_t = G(u)`` where ``G`` is a user generator callback (it may
+communicate, e.g. a ghosted stencil):
+
+- ``explicit_euler`` and ``rk4``: explicit single/multi-stage steps,
+- ``backward_euler``: implicit step solved with the matrix-free
+  Newton-Krylov SNES -- each step solves ``u_{n+1} - dt G(u_{n+1}) = u_n``.
+
+Each method returns the number of steps taken; monitors can observe the
+state between steps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from repro.petsc.snes import NewtonKrylov, SNESResult
+from repro.petsc.vec import PETScError, Vec
+
+#: rhs callback: fn(u, g) -> generator, leaves G(u) in g
+RHSFn = Callable[[Vec, Vec], Generator]
+Monitor = Callable[[int, float, Vec], None]
+
+
+def explicit_euler(
+    rhs: RHSFn, u: Vec, dt: float, steps: int,
+    monitor: Optional[Monitor] = None,
+) -> Generator:
+    """u += dt G(u), ``steps`` times."""
+    if dt <= 0 or steps < 0:
+        raise PETScError("need dt > 0 and steps >= 0")
+    g = u.duplicate()
+    for n in range(steps):
+        yield from rhs(u, g)
+        yield from u.axpy(dt, g)
+        if monitor is not None:
+            monitor(n + 1, (n + 1) * dt, u)
+    return steps
+
+
+def rk4(
+    rhs: RHSFn, u: Vec, dt: float, steps: int,
+    monitor: Optional[Monitor] = None,
+) -> Generator:
+    """Classic fourth-order Runge-Kutta."""
+    if dt <= 0 or steps < 0:
+        raise PETScError("need dt > 0 and steps >= 0")
+    k1 = u.duplicate()
+    k2 = u.duplicate()
+    k3 = u.duplicate()
+    k4 = u.duplicate()
+    stage = u.duplicate()
+    for n in range(steps):
+        yield from rhs(u, k1)
+        stage.copy_from(u)
+        yield from stage.axpy(dt / 2.0, k1)
+        yield from rhs(stage, k2)
+        stage.copy_from(u)
+        yield from stage.axpy(dt / 2.0, k2)
+        yield from rhs(stage, k3)
+        stage.copy_from(u)
+        yield from stage.axpy(dt, k3)
+        yield from rhs(stage, k4)
+        yield from u.axpy(dt / 6.0, k1)
+        yield from u.axpy(dt / 3.0, k2)
+        yield from u.axpy(dt / 3.0, k3)
+        yield from u.axpy(dt / 6.0, k4)
+        if monitor is not None:
+            monitor(n + 1, (n + 1) * dt, u)
+    return steps
+
+
+def backward_euler(
+    rhs: RHSFn, u: Vec, dt: float, steps: int,
+    snes_rtol: float = 1e-8,
+    monitor: Optional[Monitor] = None,
+) -> Generator:
+    """Implicit Euler: solve ``w - dt G(w) - u_n = 0`` for each step."""
+    if dt <= 0 or steps < 0:
+        raise PETScError("need dt > 0 and steps >= 0")
+    u_n = u.duplicate()
+    gbuf = u.duplicate()
+
+    for n in range(steps):
+        u_n.copy_from(u)
+
+        def implicit_residual(w: Vec, f: Vec) -> Generator:
+            yield from rhs(w, gbuf)
+            # f = w - dt*G(w) - u_n
+            f.copy_from(w)
+            yield from f.axpy(-dt, gbuf)
+            yield from f.axpy(-1.0, u_n)
+
+        result: SNESResult = yield from NewtonKrylov(
+            implicit_residual, u, rtol=snes_rtol, maxits=30
+        )
+        if not result.converged:
+            raise PETScError(
+                f"implicit step {n + 1} failed to converge "
+                f"(residual {result.final_residual:.2e})"
+            )
+        if monitor is not None:
+            monitor(n + 1, (n + 1) * dt, u)
+    return steps

@@ -1,0 +1,330 @@
+"""Distributed vectors and ownership layouts.
+
+A :class:`Layout` splits a global index range into per-rank contiguous
+ownership blocks (PETSc's ``PetscLayout``).  A :class:`Vec` is the rank-local
+view of a distributed vector: a numpy array of the locally owned entries
+plus generator methods for the collective operations (dot, norm, ...).
+
+Local arithmetic charges flop time on the owning rank's CPU; reductions go
+through ``allreduce``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+import numpy as np
+
+from repro.mpi.comm import Comm
+
+
+class PETScError(RuntimeError):
+    """Invalid use of the toolkit."""
+
+
+class Layout:
+    """Contiguous ownership ranges of a global vector across ranks."""
+
+    def __init__(self, nranks: int, global_size: int,
+                 local_sizes: Optional[Sequence[int]] = None):
+        if global_size < 0:
+            raise PETScError(f"negative global size {global_size}")
+        self.nranks = nranks
+        self.global_size = global_size
+        if local_sizes is None:
+            base, rem = divmod(global_size, nranks)
+            local_sizes = [base + (1 if r < rem else 0) for r in range(nranks)]
+        local_sizes = [int(s) for s in local_sizes]
+        if len(local_sizes) != nranks:
+            raise PETScError("local_sizes must have one entry per rank")
+        if sum(local_sizes) != global_size:
+            raise PETScError(
+                f"local sizes sum to {sum(local_sizes)}, global is {global_size}"
+            )
+        self.local_sizes = local_sizes
+        self.starts = np.concatenate(([0], np.cumsum(local_sizes))).astype(np.int64)
+
+    def local_size(self, rank: int) -> int:
+        return self.local_sizes[rank]
+
+    def start(self, rank: int) -> int:
+        return int(self.starts[rank])
+
+    def end(self, rank: int) -> int:
+        return int(self.starts[rank + 1])
+
+    def owners(self, global_indices: np.ndarray) -> np.ndarray:
+        """Owning rank of each global index (vectorised)."""
+        idx = np.asarray(global_indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.global_size):
+            raise PETScError("global index out of range")
+        return np.searchsorted(self.starts, idx, side="right") - 1
+
+    def to_local(self, global_indices: np.ndarray, rank: int) -> np.ndarray:
+        """Local offsets (on ``rank``) of global indices owned by it."""
+        idx = np.asarray(global_indices, dtype=np.int64)
+        return idx - self.starts[rank]
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Layout)
+            and self.global_size == other.global_size
+            and self.local_sizes == other.local_sizes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Layout(global={self.global_size}, ranks={self.nranks})"
+
+
+class Vec:
+    """The rank-local part of a distributed vector.
+
+    Create one per rank inside the rank's generator::
+
+        layout = Layout(comm.size, n)
+        x = Vec(comm, layout)
+        x.local[:] = ...
+        norm = yield from x.norm()
+    """
+
+    def __init__(self, comm: Comm, layout: Layout,
+                 array: Optional[np.ndarray] = None):
+        self.comm = comm
+        self.layout = layout
+        n = layout.local_size(comm.rank)
+        if array is None:
+            self.local = np.zeros(n)
+        else:
+            array = np.asarray(array, dtype=np.float64)
+            if array.shape != (n,):
+                raise PETScError(f"array shape {array.shape} != local size {n}")
+            self.local = array
+
+    # -- local metadata ------------------------------------------------------
+
+    @property
+    def local_size(self) -> int:
+        return self.local.size
+
+    @property
+    def global_size(self) -> int:
+        return self.layout.global_size
+
+    @property
+    def owned_range(self) -> tuple[int, int]:
+        return self.layout.start(self.comm.rank), self.layout.end(self.comm.rank)
+
+    def duplicate(self) -> "Vec":
+        return Vec(self.comm, self.layout)
+
+    def copy_from(self, other: "Vec") -> None:
+        self._check_compatible(other)
+        self.local[:] = other.local
+
+    def _check_compatible(self, other: "Vec") -> None:
+        if self.layout != other.layout:
+            raise PETScError("vectors have different layouts")
+
+    # -- local arithmetic (charges flop time) -----------------------------------
+
+    def _flops(self, per_entry: float = 1.0) -> Generator:
+        yield from self.comm.cpu(self.local.size * self.comm.cost.flop * per_entry)
+
+    def set(self, alpha: float) -> Generator:
+        self.local[:] = alpha
+        yield from self._flops()
+
+    def scale(self, alpha: float) -> Generator:
+        self.local *= alpha
+        yield from self._flops()
+
+    def axpy(self, alpha: float, x: "Vec") -> Generator:
+        """self += alpha * x"""
+        self._check_compatible(x)
+        self.local += alpha * x.local
+        yield from self._flops(2.0)
+
+    def aypx(self, alpha: float, x: "Vec") -> Generator:
+        """self = alpha * self + x"""
+        self._check_compatible(x)
+        self.local *= alpha
+        self.local += x.local
+        yield from self._flops(2.0)
+
+    def waxpy(self, alpha: float, x: "Vec", y: "Vec") -> Generator:
+        """self = alpha * x + y"""
+        self._check_compatible(x)
+        self._check_compatible(y)
+        np.multiply(x.local, alpha, out=self.local)
+        self.local += y.local
+        yield from self._flops(2.0)
+
+    def pointwise_mult(self, x: "Vec", y: "Vec") -> Generator:
+        self._check_compatible(x)
+        self._check_compatible(y)
+        np.multiply(x.local, y.local, out=self.local)
+        yield from self._flops()
+
+    # -- reductions -------------------------------------------------------------
+
+    def dot(self, other: "Vec") -> Generator:
+        self._check_compatible(other)
+        partial = float(self.local @ other.local)
+        yield from self._flops(2.0)
+        result = yield from self.comm.allreduce(partial)
+        return result
+
+    def norm(self, kind: str = "2") -> Generator:
+        """Vector norm: ``"2"`` (default), ``"1"`` or ``"inf"``."""
+        if kind == "2":
+            sq = yield from self.dot(self)
+            return float(np.sqrt(sq))
+        if kind == "1":
+            partial = float(np.abs(self.local).sum())
+            yield from self._flops()
+            result = yield from self.comm.allreduce(partial)
+            return result
+        if kind == "inf":
+            partial = float(np.abs(self.local).max()) if self.local.size else 0.0
+            yield from self._flops()
+            result = yield from self.comm.allreduce(partial, op=max)
+            return result
+        raise PETScError(f"unknown norm kind {kind!r}")
+
+    def sum(self) -> Generator:
+        partial = float(self.local.sum())
+        yield from self._flops()
+        result = yield from self.comm.allreduce(partial)
+        return result
+
+    def max(self) -> Generator:
+        partial = float(self.local.max()) if self.local.size else -np.inf
+        yield from self._flops()
+        result = yield from self.comm.allreduce(partial, op=max)
+        return result
+
+    def min(self) -> Generator:
+        partial = float(self.local.min()) if self.local.size else np.inf
+        yield from self._flops()
+        result = yield from self.comm.allreduce(partial, op=min)
+        return result
+
+    def save(self, filename: str) -> Generator:
+        """Write the vector to a shared file in global order (collective,
+        like binary ``VecView``): each rank writes its owned block at its
+        layout offset through MPI-IO."""
+        from repro.mpi.io import File
+
+        fh = yield from File.open(self.comm, filename)
+        fh.set_view(self.layout.start(self.comm.rank) * 8)
+        yield from fh.write_all(self.local)
+        yield from fh.close()
+
+    def load(self, filename: str) -> Generator:
+        """Fill the vector from a file written by :meth:`save` (collective);
+        the loading layout may differ from the saving one."""
+        from repro.mpi.io import File
+
+        fh = yield from File.open(self.comm, filename)
+        fh.set_view(self.layout.start(self.comm.rank) * 8)
+        yield from fh.read_all(self.local)
+        yield from fh.close()
+
+    def gather_to_all(self) -> Generator:
+        """Assemble the full global vector on every rank
+        (``VecScatterCreateToAll``): one ``MPI_Allgatherv`` whose per-rank
+        counts are the local sizes -- with an unbalanced layout this is
+        exactly the nonuniform-volume collective of paper section 4.2.1."""
+        out = np.zeros(self.global_size)
+        yield from self.comm.allgatherv(
+            self.local, out, self.layout.local_sizes
+        )
+        return out
+
+    # -- global entry setting (VecSetValues / VecAssembly) -----------------------
+
+    def set_values(self, indices, values, mode: str = "insert") -> None:
+        """Stage entries by *global* index from any rank (``VecSetValues``).
+
+        Entries for other ranks are stashed locally; call
+        :meth:`assemble` (collectively) to ship them.  ``mode`` is
+        ``"insert"`` or ``"add"`` and must be used consistently between
+        assemblies.
+        """
+        if mode not in ("insert", "add"):
+            raise PETScError(f"unknown mode {mode!r}")
+        idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+        val = np.asarray(values, dtype=np.float64).reshape(-1)
+        if idx.shape != val.shape:
+            raise PETScError("indices/values length mismatch")
+        if idx.size == 0:
+            return
+        stash = getattr(self, "_stash", None)
+        if stash is None:
+            stash = self._stash = {}
+            self._stash_mode = mode
+        elif self._stash_mode != mode:
+            raise PETScError(
+                f"mixed assembly modes: {self._stash_mode!r} then {mode!r}"
+            )
+        owner = self.layout.owners(idx)
+        rank = self.comm.rank
+        mine = owner == rank
+        local = self.layout.to_local(idx[mine], rank)
+        if mode == "insert":
+            self.local[local] = val[mine]
+        else:
+            np.add.at(self.local, local, val[mine])
+        for peer in np.unique(owner[~mine]):
+            sel = owner == peer
+            stash.setdefault(int(peer), []).append(
+                np.stack([idx[sel].astype(np.float64), val[sel]])
+            )
+
+    def assemble(self) -> Generator:
+        """Ship stashed off-rank entries to their owners (collective)."""
+        comm = self.comm
+        stash = getattr(self, "_stash", None) or {}
+        mode = getattr(self, "_stash_mode", "insert")
+        # agree on the mode (mixed modes across ranks are an error in MPI
+        # as well; detect instead of corrupting)
+        modes = yield from comm.gather_obj(mode if stash else None, root=0)
+        if comm.rank == 0:
+            used = {m for m in modes if m is not None}
+            if len(used) > 1:
+                raise PETScError(f"conflicting assembly modes: {used}")
+            agreed = used.pop() if used else "insert"
+        else:
+            agreed = None
+        agreed = yield from comm.bcast(agreed, root=0)
+        out_counts = np.zeros(comm.size)
+        for peer, blocks in stash.items():
+            out_counts[peer] = sum(b.shape[1] for b in blocks)
+        in_counts = np.zeros(comm.size)
+        yield from comm.alltoall(out_counts, in_counts, 1)
+        from repro.mpi.collectives.basic import _tag_window
+        from repro.mpi.request import Request
+
+        base = _tag_window(comm)
+        requests = []
+        incoming = []
+        for peer in range(comm.size):
+            n_in = int(in_counts[peer])
+            if n_in and peer != comm.rank:
+                buf = np.empty(2 * n_in)
+                incoming.append(buf)
+                requests.append(comm.irecv(buf, peer, base))
+        for peer, blocks in sorted(stash.items()):
+            payload = np.ascontiguousarray(np.hstack(blocks).reshape(-1))
+            requests.append((yield from comm.isend(payload, peer, base)))
+        yield from Request.waitall(requests)
+        for buf in incoming:
+            pairs = buf.reshape(2, -1)
+            local = self.layout.to_local(pairs[0].astype(np.int64), comm.rank)
+            if agreed == "insert":
+                self.local[local] = pairs[1]
+            else:
+                np.add.at(self.local, local, pairs[1])
+        if hasattr(self, "_stash"):
+            del self._stash
+            del self._stash_mode

@@ -1,0 +1,38 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package provides the "cluster" on which the reproduced MPI library and
+PETSc-like toolkit run.  It replaces the paper's physical InfiniBand testbed
+(see DESIGN.md, substitution table):
+
+- :mod:`repro.simtime.engine` -- the event loop and generator-based processes,
+- :mod:`repro.simtime.resources` -- FIFO resources used to model NIC ports,
+- :mod:`repro.simtime.network` -- the alpha-beta transfer-time model with
+  per-rank CPU speed factors and seeded skew.
+
+Simulated time is a float in seconds.  All scheduling is deterministic: ties
+are broken by an insertion sequence number, and any randomness (skew/noise)
+comes from seeded generators owned by the network model.
+"""
+
+from repro.simtime.engine import (
+    Delay,
+    Engine,
+    SimFuture,
+    SimProcess,
+    SimulationDeadlock,
+    SimulationError,
+)
+from repro.simtime.network import NetworkModel
+from repro.simtime.resources import Port, Resource
+
+__all__ = [
+    "Delay",
+    "Engine",
+    "NetworkModel",
+    "Port",
+    "Resource",
+    "SimFuture",
+    "SimProcess",
+    "SimulationDeadlock",
+    "SimulationError",
+]

@@ -1,0 +1,291 @@
+"""Discrete-event engine with generator-based processes.
+
+A *process* is a Python generator.  It advances by yielding one of:
+
+- :class:`Delay` -- resume after a fixed amount of simulated time,
+- :class:`SimFuture` -- resume when the future is resolved; the ``yield``
+  expression evaluates to the future's value,
+- another :class:`SimProcess` -- resume when that process terminates; the
+  ``yield`` evaluates to its return value (exceptions propagate).
+
+Subroutines compose with ``yield from`` and return values through
+``return`` / ``StopIteration`` as usual, which lets the higher layers (MPI,
+PETSc) be written in a direct blocking style::
+
+    def worker(comm):
+        data = yield from comm.recv(source=0, tag=7)
+        yield Delay(1e-6)           # charge some CPU time
+        yield from comm.send(data, dest=2, tag=7)
+
+The engine is fully deterministic: events at equal timestamps fire in the
+order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation engine."""
+
+
+class SimulationDeadlock(SimulationError):
+    """Raised by :meth:`Engine.run` when live processes remain but no event
+    can ever fire again (e.g. a receive whose matching send never happens)."""
+
+
+class Delay:
+    """Yieldable command: resume the process after ``duration`` sim-seconds.
+
+    A negative duration is an error; zero is allowed and schedules the
+    resumption at the current time (after already-queued events at that time).
+    """
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ValueError(f"negative delay: {duration!r}")
+        self.duration = float(duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Delay({self.duration!r})"
+
+
+class SimFuture:
+    """A one-shot container for a value produced at some simulated time.
+
+    Processes wait on a future by yielding it.  Multiple processes may wait
+    on the same future; all are resumed (in wait order) when it resolves.
+    """
+
+    __slots__ = ("engine", "_value", "_exception", "_done", "_callbacks", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._done = False
+        self._callbacks: list[Callable[["SimFuture"], None]] = []
+        self.name = name
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError(f"future {self.name!r} not resolved")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def set_result(self, value: Any = None) -> None:
+        """Resolve the future immediately (at the current simulated time)."""
+        if self._done:
+            raise SimulationError(f"future {self.name!r} resolved twice")
+        self._done = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._done:
+            raise SimulationError(f"future {self.name!r} resolved twice")
+        self._done = True
+        self._exception = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_done_callback(self, cb: Callable[["SimFuture"], None]) -> None:
+        if self._done:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+
+class SimProcess:
+    """A running generator, driven by the engine.
+
+    Yielding a ``SimProcess`` from another process joins it.  The process'
+    return value is available as :attr:`result` once :attr:`done`.
+    """
+
+    __slots__ = ("engine", "gen", "name", "done", "result", "_exception", "_waiters")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
+        self.engine = engine
+        self.gen = gen
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._waiters: list[Callable[["SimProcess"], None]] = []
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def add_done_callback(self, cb: Callable[["SimProcess"], None]) -> None:
+        if self.done:
+            cb(self)
+        else:
+            self._waiters.append(cb)
+
+    def _finish(self, result: Any, exc: Optional[BaseException]) -> None:
+        self.done = True
+        self.result = result
+        self._exception = exc
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            cb(self)
+
+
+class Engine:
+    """The discrete-event scheduler.
+
+    Typical use::
+
+        eng = Engine()
+        procs = [eng.spawn(worker(i)) for i in range(4)]
+        eng.run()
+        print(eng.now, [p.result for p in procs])
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._live_processes = 0
+        self._trace: Optional[Callable[[float, str], None]] = None
+
+    # -- scheduling primitives ------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+
+    def future(self, name: str = "") -> SimFuture:
+        return SimFuture(self, name)
+
+    def timeout(self, delay: float) -> SimFuture:
+        """A future that resolves after ``delay`` sim-seconds."""
+        fut = self.future(f"timeout({delay})")
+        self.schedule(delay, fut.set_result)
+        return fut
+
+    # -- processes -------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "") -> SimProcess:
+        """Register a generator as a process; it starts at the current time."""
+        if not hasattr(gen, "send"):
+            raise TypeError(f"spawn() needs a generator, got {type(gen).__name__}")
+        proc = SimProcess(self, gen, name or getattr(gen, "__name__", "proc"))
+        self._live_processes += 1
+        self.schedule(0.0, lambda: self._step(proc, _SEND, None))
+        return proc
+
+    def _step(self, proc: SimProcess, mode: int, payload: Any) -> None:
+        try:
+            if mode == _SEND:
+                cmd = proc.gen.send(payload)
+            else:
+                cmd = proc.gen.throw(payload)
+        except StopIteration as stop:
+            self._live_processes -= 1
+            proc._finish(stop.value, None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagated to joiners
+            self._live_processes -= 1
+            proc._finish(None, exc)
+            if not proc._waiters:
+                raise
+            return
+        self._dispatch(proc, cmd)
+
+    def _dispatch(self, proc: SimProcess, cmd: Any) -> None:
+        # Resumptions from futures/processes are trampolined through the
+        # event heap (at the current time) rather than run synchronously:
+        # long chains of already-resolved futures would otherwise recurse
+        # arbitrarily deep through set_result -> callback -> step -> ...
+        if isinstance(cmd, Delay):
+            self.schedule(cmd.duration, lambda: self._step(proc, _SEND, None))
+        elif isinstance(cmd, SimFuture):
+            cmd.add_done_callback(
+                lambda fut: self.schedule(
+                    0.0, lambda: self._resume_from_future(proc, fut)
+                )
+            )
+        elif isinstance(cmd, SimProcess):
+            cmd.add_done_callback(
+                lambda p: self.schedule(
+                    0.0, lambda: self._resume_from_process(proc, p)
+                )
+            )
+        else:
+            err = SimulationError(
+                f"process {proc.name!r} yielded {cmd!r}; expected Delay, "
+                "SimFuture or SimProcess"
+            )
+            self.schedule(0.0, lambda: self._step(proc, _THROW, err))
+
+    def _resume_from_future(self, proc: SimProcess, fut: SimFuture) -> None:
+        if fut._exception is not None:
+            self._step(proc, _THROW, fut._exception)
+        else:
+            self._step(proc, _SEND, fut._value)
+
+    def _resume_from_process(self, proc: SimProcess, child: SimProcess) -> None:
+        if child._exception is not None:
+            self._step(proc, _THROW, child._exception)
+        else:
+            self._step(proc, _SEND, child.result)
+
+    # -- running ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event heap; return the final simulated time.
+
+        Raises :class:`SimulationDeadlock` if processes remain alive with an
+        empty heap (they are waiting on futures nobody will resolve).
+        """
+        while self._heap:
+            t, _seq, fn = heapq.heappop(self._heap)
+            if until is not None and t > until:
+                # put it back; stop the clock at `until`
+                heapq.heappush(self._heap, (t, _seq, fn))
+                self.now = until
+                return self.now
+            self.now = t
+            fn()
+        if self._live_processes > 0:
+            raise SimulationDeadlock(
+                f"{self._live_processes} process(es) blocked forever at "
+                f"t={self.now}"
+            )
+        return self.now
+
+    def run_all(self, gens: Iterable[Generator], names: Optional[list[str]] = None) -> list[Any]:
+        """Spawn every generator, run to completion, return their results."""
+        gens = list(gens)
+        names = names or [f"p{i}" for i in range(len(gens))]
+        procs = [self.spawn(g, n) for g, n in zip(gens, names)]
+        self.run()
+        out = []
+        for p in procs:
+            if p._exception is not None:
+                raise p._exception
+            out.append(p.result)
+        return out
+
+
+_SEND = 0
+_THROW = 1

@@ -1,0 +1,129 @@
+"""Cluster network and CPU model.
+
+Models the paper's testbed (section 5.1): two 32-node clusters -- Intel
+EM64T 3.6 GHz and AMD Opteron 2.8 GHz -- joined by one InfiniBand DDR
+switch.  The relevant properties for the reproduced experiments are:
+
+- every node has one NIC: concurrent sends (or receives) at a node
+  serialise (:class:`repro.simtime.resources.Port`),
+- message time follows the alpha-beta model,
+- the two halves of the machine run CPU-bound work at different speeds,
+  which creates the natural skew the paper observes in Fig. 15
+  ("we did not add any artificial skew ... some skew is bound to be
+  present"), plus small seeded per-call jitter.
+
+Rank-to-cluster mapping mirrors the paper: runs of <= 32 processes fit on
+one (Opteron) cluster and are nearly homogeneous; larger runs straddle both
+clusters and are heterogeneous.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List
+
+from repro.simtime.engine import Delay, Engine
+from repro.simtime.resources import Port
+from repro.util.costmodel import CostModel
+
+#: number of nodes per physical cluster in the paper's testbed
+CLUSTER_NODES = 32
+
+
+class NetworkModel:
+    """Per-rank ports, transfer times and CPU-time scaling for one cluster."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        nranks: int,
+        cost: CostModel | None = None,
+        seed: int = 0,
+        heterogeneous: bool | None = None,
+    ):
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        self.engine = engine
+        self.nranks = nranks
+        self.cost = cost or CostModel()
+        self._rng = random.Random(seed)
+        # Heterogeneous iff the job does not fit on one 32-node cluster,
+        # unless explicitly overridden.
+        if heterogeneous is None:
+            heterogeneous = nranks > CLUSTER_NODES
+        self.heterogeneous = heterogeneous
+        self.send_ports: List[Port] = [
+            Port(engine, f"send[{r}]") for r in range(nranks)
+        ]
+        self.recv_ports: List[Port] = [
+            Port(engine, f"recv[{r}]") for r in range(nranks)
+        ]
+        self._speed = [self._speed_factor(r) for r in range(nranks)]
+        self.bytes_on_wire = 0
+        self.messages_on_wire = 0
+
+    def _speed_factor(self, rank: int) -> float:
+        """CPU-time multiplier for ``rank`` (1.0 = fast Intel node)."""
+        if not self.heterogeneous:
+            return 1.0
+        # First half on the Intel cluster, second half on the Opteron one.
+        return 1.0 if rank < self.nranks // 2 else self.cost.hetero_factor
+
+    def speed_factor(self, rank: int) -> float:
+        return self._speed[rank]
+
+    # -- CPU -------------------------------------------------------------
+
+    def cpu_seconds(self, rank: int, seconds: float) -> float:
+        """Scale nominal CPU ``seconds`` by rank speed and seeded jitter."""
+        if seconds < 0:
+            raise ValueError(f"negative cpu time: {seconds!r}")
+        if seconds == 0:
+            return 0.0
+        jitter = 1.0 + self._rng.random() * self.cost.cpu_noise
+        return seconds * self._speed[rank] * jitter
+
+    def compute(self, rank: int, seconds: float) -> Generator:
+        """Yieldable: occupy ``rank``'s CPU for scaled ``seconds``."""
+        yield Delay(self.cpu_seconds(rank, seconds))
+
+    # -- wire ------------------------------------------------------------
+
+    def transfer_time(self, nbytes: int) -> float:
+        return self.cost.transfer_time(nbytes)
+
+    def transfer(self, src: int, dst: int, nbytes: int,
+                 latency: Optional[float] = None) -> Generator:
+        """Yieldable: move ``nbytes`` from ``src`` to ``dst``.
+
+        Holds the sender's send port and the receiver's receive port for the
+        whole wire time, which serialises concurrent messages through a node
+        -- the mechanism behind the ring algorithm's sequentialisation.
+        Zero-byte messages still pay ``alpha`` (a pure synchronisation, the
+        cost the optimised Alltoallw avoids by exempting the zero bin).
+        ``latency`` overrides the per-message alpha (e.g. the cheaper
+        initiation cost of a raw RDMA operation).
+        """
+        if not (0 <= src < self.nranks and 0 <= dst < self.nranks):
+            raise ValueError(f"rank out of range: {src}->{dst}")
+        if latency is None:
+            duration = self.transfer_time(nbytes)
+        else:
+            duration = latency + self.cost.beta * max(0, nbytes)
+        self.bytes_on_wire += nbytes
+        self.messages_on_wire += 1
+        if src == dst:
+            # local copy through memory, no NIC involved
+            yield Delay(self.cost.copy_byte * nbytes)
+            return
+        yield from self.send_ports[src].acquire()
+        try:
+            yield from self.recv_ports[dst].acquire()
+            try:
+                yield Delay(duration)
+                self.send_ports[src].busy_time += duration
+                self.recv_ports[dst].busy_time += duration
+            finally:
+                self.recv_ports[dst].release()
+        finally:
+            self.send_ports[src].release()

@@ -1,0 +1,6 @@
+"""Shared utilities: the calibrated cost model and selection algorithms."""
+
+from repro.util.costmodel import CostLedger, CostModel
+from repro.util.kselect import k_select
+
+__all__ = ["CostLedger", "CostModel", "k_select"]

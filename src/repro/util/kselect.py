@@ -1,0 +1,81 @@
+"""Floyd-Rivest selection (the SELECT algorithm).
+
+The paper's outlier-detection step (section 4.2.1, Eq. 1) evaluates
+``k_select(COMM_VOL_SET, k)`` -- the k-th smallest element of the
+communication-volume set -- "utilizing the algorithm by Floyd and Rivest to
+evaluate k_select() in linear time".
+
+This is a faithful implementation of Floyd & Rivest's 1975 SELECT: for large
+ranges it recursively selects within a small sample to pick pivot bounds that
+bracket the k-th element with high probability, then partitions.  Expected
+running time is ``n + min(k, n-k) + o(n)`` comparisons.
+
+``k`` is 1-based, matching the paper's formulation (``k_select(S, N)`` is the
+maximum of an N-element set).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def k_select(values: Sequence[float], k: int) -> float:
+    """Return the ``k``-th smallest element (1-based) of ``values``.
+
+    Runs in expected linear time via Floyd-Rivest SELECT.  ``values`` is not
+    modified; a working copy is made once.
+
+    >>> k_select([5, 1, 4, 2, 3], 2)
+    2
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("k_select of empty sequence")
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} out of range 1..{n}")
+    work = list(values)
+    _floyd_rivest(work, 0, n - 1, k - 1)
+    return work[k - 1]
+
+
+def _floyd_rivest(a: list, left: int, right: int, k: int) -> None:
+    """In-place SELECT: after return, ``a[k]`` holds the k-th order statistic
+    of ``a[left..right]`` and the array is partitioned around it."""
+    while right > left:
+        if right - left > 600:
+            # Sample recursion: select within a sample of size ~n^(2/3)
+            # centred on where the k-th element is expected to fall.
+            n = right - left + 1
+            i = k - left + 1
+            z = math.log(n)
+            s = 0.5 * math.exp(2.0 * z / 3.0)
+            sd = 0.5 * math.sqrt(z * s * (n - s) / n)
+            if i < n / 2:
+                sd = -sd
+            new_left = max(left, int(k - i * s / n + sd))
+            new_right = min(right, int(k + (n - i) * s / n + sd))
+            _floyd_rivest(a, new_left, new_right, k)
+        # Standard three-way-ish partition around a[k].
+        t = a[k]
+        i, j = left, right
+        a[left], a[k] = a[k], a[left]
+        if a[right] > t:
+            a[right], a[left] = a[left], a[right]
+        while i < j:
+            a[i], a[j] = a[j], a[i]
+            i += 1
+            j -= 1
+            while a[i] < t:
+                i += 1
+            while a[j] > t:
+                j -= 1
+        if a[left] == t:
+            a[left], a[j] = a[j], a[left]
+        else:
+            j += 1
+            a[j], a[right] = a[right], a[j]
+        if j <= k:
+            left = j + 1
+        if k <= j:
+            right = j - 1

@@ -1,0 +1,87 @@
+"""Tests for the FLASH-style AMR skew workload (paper section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.amr_skew import AMRConfig, AMRDriver, amr_skew_benchmark, morton_order
+from repro.mpi import Cluster, MPIConfig
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def test_morton_order_is_permutation():
+    for n in (1, 2, 4, 8, 16):
+        order = morton_order(n)
+        assert sorted(order.tolist()) == list(range(n * n))
+
+
+def test_morton_locality():
+    """Consecutive Morton blocks are spatially close (within a few cells)."""
+    n = 8
+    order = morton_order(n)
+    x, y = order % n, order // n
+    dist = np.abs(np.diff(x)) + np.abs(np.diff(y))
+    assert dist.max() <= n  # never a full-domain jump
+    assert np.mean(dist) < 2.5
+
+
+def test_levels_follow_feature():
+    cluster = Cluster(2, config=MPIConfig.optimized(), cost=QUIET, heterogeneous=False)
+
+    def main(comm):
+        d = AMRDriver(comm, AMRConfig(blocks_per_dim=8, max_level=2))
+        levels = d.compute_levels(0)
+        # blocks near the feature are refined, far corners are not
+        pos = d.feature_position(0)
+        dist = np.linalg.norm(d.centers - pos, axis=1)
+        assert levels[np.argmin(dist)] == 2
+        assert levels[np.argmax(dist)] == 0
+        yield from comm.barrier()
+        return True
+
+    assert all(cluster.run(main))
+
+
+def test_balanced_owners_even_work():
+    cluster = Cluster(4, config=MPIConfig.optimized(), cost=QUIET, heterogeneous=False)
+
+    def main(comm):
+        d = AMRDriver(comm, AMRConfig(blocks_per_dim=8, max_level=2))
+        levels = d.compute_levels(1)
+        owners = d.balanced_owners(levels)
+        work = d.block_cells(levels)
+        per_rank = np.array([work[owners == r].sum() for r in range(comm.size)])
+        yield from comm.barrier()
+        return per_rank
+
+    per_rank = cluster.run(main)[0]
+    assert per_rank.sum() > 0
+    # no rank more than 2x the average
+    assert per_rank.max() < 2.0 * per_rank.mean()
+    # every rank owns something
+    assert per_rank.min() > 0
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 8])
+def test_workload_runs_and_data_survives_migration(nprocs):
+    r = amr_skew_benchmark(nprocs, MPIConfig.optimized(), cost=QUIET)
+    assert r.correct
+    assert r.migrated_cells > 0  # the moving feature forces migrations
+    assert r.time_per_step > 0
+
+
+def test_optimized_config_not_slower():
+    params = AMRConfig(blocks_per_dim=8, steps=4)
+    rb = amr_skew_benchmark(16, MPIConfig.baseline(), params=params, cost=QUIET)
+    ro = amr_skew_benchmark(16, MPIConfig.optimized(), params=params, cost=QUIET)
+    assert rb.correct and ro.correct
+    assert ro.time_per_step < rb.time_per_step
+
+
+def test_determinism():
+    params = AMRConfig(steps=3)
+    a = amr_skew_benchmark(4, MPIConfig.optimized(), params=params, seed=5)
+    b = amr_skew_benchmark(4, MPIConfig.optimized(), params=params, seed=5)
+    assert a.time_per_step == b.time_per_step
+    assert a.migrated_cells == b.migrated_cells

@@ -1,0 +1,75 @@
+"""Tests for the unstructured FEM Poisson application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fem_poisson import (
+    element_stiffness,
+    solve_poisson_fem,
+    triangulate,
+)
+from repro.mpi import MPIConfig
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def test_triangulation_counts_and_areas():
+    coords, tris = triangulate(4, 3)
+    assert coords.shape == (5 * 4, 2)
+    assert tris.shape == (2 * 4 * 3, 3)
+    _K, area = element_stiffness(coords, tris)
+    assert np.all(area > 0)
+    assert area.sum() == pytest.approx(1.0)  # the unit square is covered
+
+
+def test_element_stiffness_properties():
+    coords, tris = triangulate(3, 3)
+    K, _area = element_stiffness(coords, tris)
+    # symmetric, rows sum to zero (constants are in the kernel)
+    assert np.allclose(K, K.transpose(0, 2, 1))
+    assert np.allclose(K.sum(axis=2), 0.0, atol=1e-12)
+    # diagonal positive
+    assert np.all(K[:, [0, 1, 2], [0, 1, 2]] > 0)
+
+
+def test_reference_triangle_stiffness():
+    """The unit right triangle has the textbook stiffness matrix."""
+    coords = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+    K, area = element_stiffness(coords, np.array([[0, 1, 2]]))
+    assert area[0] == pytest.approx(0.5)
+    expect = np.array([[1.0, -0.5, -0.5], [-0.5, 0.5, 0.0], [-0.5, 0.0, 0.5]])
+    assert np.allclose(K[0], expect)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_fem_solves_manufactured_problem(nprocs):
+    r = solve_poisson_fem(nprocs, n=16, cost=QUIET)
+    assert r.converged
+    assert r.error_max < 0.01
+
+
+def test_fem_second_order_convergence():
+    e1 = solve_poisson_fem(2, n=8, cost=QUIET).error_max
+    e2 = solve_poisson_fem(2, n=16, cost=QUIET).error_max
+    rate = np.log2(e1 / e2)
+    assert 1.6 < rate < 2.4, (e1, e2, rate)
+
+
+def test_fem_backends_agree():
+    a = solve_poisson_fem(4, n=12, backend="datatype", cost=QUIET)
+    b = solve_poisson_fem(4, n=12, backend="hand_tuned", cost=QUIET)
+    assert a.converged and b.converged
+    assert a.error_max == pytest.approx(b.error_max, rel=1e-8)
+
+
+def test_fem_parallel_matches_serial():
+    a = solve_poisson_fem(1, n=12, cost=QUIET)
+    b = solve_poisson_fem(4, n=12, cost=QUIET)
+    assert a.error_max == pytest.approx(b.error_max, rel=1e-6)
+
+
+def test_fem_configs_agree_numerically():
+    a = solve_poisson_fem(4, n=12, config=MPIConfig.baseline(), cost=QUIET)
+    b = solve_poisson_fem(4, n=12, config=MPIConfig.optimized(), cost=QUIET)
+    assert a.error_max == pytest.approx(b.error_max, rel=1e-8)

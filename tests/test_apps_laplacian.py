@@ -1,0 +1,61 @@
+"""Tests for the 3-D Laplacian multigrid application driver (small grids;
+the full 100^3 runs live in benchmarks/test_fig17_multigrid.py)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.laplacian3d import laplacian3d_benchmark, laplacian3d_solve
+from repro.mpi import MPIConfig
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+GRID = (16, 16, 16)
+
+
+def test_solver_converges():
+    r = laplacian3d_benchmark(4, "MVAPICH2-New", grid=GRID, levels=2,
+                              cost=QUIET, rtol=1e-6, max_cycles=30)
+    assert r.converged
+    assert r.residual_reduction < 1e-6
+    assert r.execution_time > 0
+
+
+def test_three_implementations_do_identical_numerics():
+    results = [
+        laplacian3d_benchmark(4, impl, grid=GRID, levels=2, cost=QUIET,
+                              fixed_cycles=3)
+        for impl in ("hand-tuned", "MVAPICH2-0.9.5", "MVAPICH2-New")
+    ]
+    reductions = {r.residual_reduction for r in results}
+    # bitwise-identical numerics across communication paths
+    assert len({f"{x:.15e}" for x in reductions}) == 1
+    # and every run did exactly the fixed work
+    assert all(r.cycles == 3 for r in results)
+
+
+def test_fixed_cycles_mode_reports_reduction():
+    r = laplacian3d_solve(2, "datatype", MPIConfig.optimized(), grid=GRID,
+                          levels=2, cost=QUIET, fixed_cycles=2)
+    assert 0 < r.residual_reduction < 1.0
+    assert r.cycles == 2
+
+
+def test_unknown_implementation_rejected():
+    with pytest.raises(ValueError):
+        laplacian3d_benchmark(2, "OpenMPI-9000", grid=GRID)
+
+
+def test_deterministic_across_runs():
+    a = laplacian3d_benchmark(4, "MVAPICH2-New", grid=GRID, levels=2,
+                              fixed_cycles=2, seed=3)
+    b = laplacian3d_benchmark(4, "MVAPICH2-New", grid=GRID, levels=2,
+                              fixed_cycles=2, seed=3)
+    assert a.execution_time == b.execution_time
+
+
+def test_baseline_not_faster_than_optimized():
+    base = laplacian3d_benchmark(8, "MVAPICH2-0.9.5", grid=GRID, levels=2,
+                                 cost=QUIET, fixed_cycles=2)
+    opt = laplacian3d_benchmark(8, "MVAPICH2-New", grid=GRID, levels=2,
+                                cost=QUIET, fixed_cycles=2)
+    assert opt.execution_time <= base.execution_time

@@ -1,0 +1,68 @@
+"""Tests for the Gray-Scott reaction-diffusion application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.reaction_diffusion import (
+    GrayScottParams,
+    gray_scott_benchmark,
+)
+from repro.mpi import MPIConfig
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+SMALL = GrayScottParams(grid=(32, 32), steps=10)
+
+
+def test_pattern_grows_from_seed():
+    r = gray_scott_benchmark(4, params=SMALL, cost=QUIET)
+    assert r.v_mass > 0.0
+    v = r.state.reshape(-1, 2)[:, 1]
+    assert v.max() > 0.05       # the v species spreads
+    assert v.min() >= -1e-9     # and stays physical
+    u = r.state.reshape(-1, 2)[:, 0]
+    assert 0.0 <= u.min() and u.max() <= 1.2
+
+
+def test_backends_and_configs_agree_exactly():
+    """The numerics are identical regardless of communication path."""
+    ref = None
+    for backend in ("datatype", "hand_tuned"):
+        for config in (MPIConfig.baseline(), MPIConfig.optimized()):
+            r = gray_scott_benchmark(4, backend=backend, config=config,
+                                     params=SMALL, cost=QUIET)
+            if ref is None:
+                ref = r.state
+            else:
+                assert np.array_equal(r.state, ref), (backend, config.name)
+
+
+def test_rank_counts_agree():
+    """Different decompositions produce the same global state."""
+    a = gray_scott_benchmark(1, params=SMALL, cost=QUIET)
+    b = gray_scott_benchmark(4, params=SMALL, cost=QUIET)
+    # assemble b's state into natural order? Both use the same DMDA ordering
+    # only when the proc grid matches, so compare integral quantities:
+    assert a.v_mass == pytest.approx(b.v_mass, rel=1e-12)
+    va = np.sort(a.state.reshape(-1, 2)[:, 1])
+    vb = np.sort(b.state.reshape(-1, 2)[:, 1])
+    assert np.allclose(va, vb)
+
+
+def test_conservation_without_reaction():
+    """With F = kappa = 0 and no v, u stays exactly 1 (diffusion of a
+    constant on a periodic domain)."""
+    params = GrayScottParams(grid=(16, 16), F=0.0, kappa=0.0, steps=3)
+    r = gray_scott_benchmark(2, params=params, cost=QUIET)
+    u = r.state.reshape(-1, 2)[:, 0]
+    # v (and hence u's reaction term) can only have spread `steps` cells
+    # from the seeded square; far away u is still exactly 1
+    assert np.abs(u[0] - 1.0) < 1e-15
+    interior_const = np.abs(u - 1.0) < 1e-12
+    assert interior_const.sum() > 0
+
+
+def test_simulated_time_positive_and_deterministic():
+    a = gray_scott_benchmark(4, params=SMALL, seed=9)
+    b = gray_scott_benchmark(4, params=SMALL, seed=9)
+    assert a.time_per_step == b.time_per_step > 0

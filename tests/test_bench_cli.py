@@ -1,0 +1,28 @@
+"""Tests for the `python -m repro.bench` command-line entry point."""
+
+from repro.bench.__main__ import main
+
+
+def test_unknown_figure_rejected(capsys):
+    assert main(["fig99"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown figure" in out
+
+
+def test_single_figure_runs(capsys):
+    assert main(["fig12"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig12" in out
+    assert "1024x1024" in out
+    assert "wall time" in out
+
+
+def test_transpose_column_type_structure():
+    from repro.apps.transpose import column_major_type
+
+    dt = column_major_type(16)
+    assert dt.size == 16 * 16 * 8
+    assert dt.num_blocks == 16 * 16  # every element its own block
+    blocks = dt.flatten()
+    # first column's elements stride by one row (16 doubles)
+    assert blocks.offsets[1] - blocks.offsets[0] == 16 * 8

@@ -1,0 +1,60 @@
+"""Tests for the benchmark harness plumbing (FigureData, formatting)."""
+
+import pytest
+
+from repro.bench.harness import FigureData, improvement, print_figure
+
+
+def test_add_row_and_columns():
+    fig = FigureData("F", "title", ["a", "b"])
+    fig.add_row(1, 2.0)
+    fig.add_row(3, 4.0)
+    assert fig.column("a") == [1, 3]
+    assert fig.column("b") == [2.0, 4.0]
+    assert fig.as_dict() == {"a": [1, 3], "b": [2.0, 4.0]}
+
+
+def test_row_arity_validated():
+    fig = FigureData("F", "title", ["a", "b"])
+    with pytest.raises(ValueError):
+        fig.add_row(1)
+    with pytest.raises(ValueError):
+        fig.add_row(1, 2, 3)
+
+
+def test_unknown_column_raises():
+    fig = FigureData("F", "title", ["a"])
+    with pytest.raises(ValueError):
+        fig.column("nope")
+
+
+def test_improvement():
+    assert improvement(100.0, 50.0) == pytest.approx(50.0)
+    assert improvement(100.0, 100.0) == 0.0
+    assert improvement(100.0, 150.0) == pytest.approx(-50.0)
+    assert improvement(0.0, 5.0) == 0.0  # guarded
+
+
+def test_print_figure_renders_aligned_table(capsys):
+    fig = FigureData("FigX", "demo", ["name", "value"],
+                     notes=["a note"])
+    fig.add_row("alpha", 1.2345)
+    fig.add_row("b", 1234.5)
+    text = print_figure(fig)
+    out = capsys.readouterr().out
+    assert text in out
+    lines = text.splitlines()
+    assert lines[0] == "== FigX: demo =="
+    assert "name" in lines[1] and "value" in lines[1]
+    assert lines[-1].strip() == "note: a note"
+    # numeric formatting: small floats keep digits, big ones round
+    assert "1.23" in text
+    assert "1234" in text
+
+
+def test_format_zero_and_small():
+    fig = FigureData("F", "t", ["v"])
+    fig.add_row(0.0)
+    fig.add_row(0.00012345)
+    text = print_figure(fig)
+    assert "0.0001234" in text or "0.0001235" in text

@@ -1,0 +1,82 @@
+"""Tests for MPIConfig and CostModel configuration plumbing."""
+
+import dataclasses
+
+import pytest
+
+from repro.mpi import MPIConfig
+from repro.util import CostLedger, CostModel
+
+
+def test_baseline_and_optimized_flags():
+    base = MPIConfig.baseline()
+    opt = MPIConfig.optimized()
+    assert not base.dual_context_engine and opt.dual_context_engine
+    assert not base.adaptive_allgatherv and opt.adaptive_allgatherv
+    assert not base.binned_alltoallw and opt.binned_alltoallw
+    assert base.name == "MVAPICH2-0.9.5"
+    assert opt.name == "MVAPICH2-New"
+
+
+def test_config_with_creates_modified_copy():
+    base = MPIConfig.baseline()
+    tweaked = base.with_(dual_context_engine=True, eager_threshold=1)
+    assert tweaked.dual_context_engine
+    assert tweaked.eager_threshold == 1
+    assert not base.dual_context_engine  # original untouched
+
+
+def test_config_is_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        MPIConfig.baseline().eager_threshold = 0
+
+
+def test_costmodel_with_and_frozen():
+    cost = CostModel()
+    tweaked = cost.with_(alpha=1e-6)
+    assert tweaked.alpha == 1e-6
+    assert cost.alpha != 1e-6
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cost.alpha = 0.0
+
+
+def test_transfer_time_monotone():
+    cost = CostModel()
+    assert cost.transfer_time(10) < cost.transfer_time(10_000)
+    assert cost.transfer_time(0) == cost.alpha
+
+
+def test_ledger_charge_and_fractions():
+    led = CostLedger()
+    led.charge("a", 3.0)
+    led.charge("b", 1.0)
+    led.charge("a", 1.0)
+    assert led.get("a") == 4.0
+    assert led.total == 5.0
+    fr = led.fractions()
+    assert fr["a"] == pytest.approx(0.8)
+    assert fr["b"] == pytest.approx(0.2)
+
+
+def test_ledger_negative_rejected():
+    with pytest.raises(ValueError):
+        CostLedger().charge("x", -1.0)
+
+
+def test_ledger_merge():
+    a = CostLedger()
+    a.charge("x", 1.0)
+    b = CostLedger()
+    b.charge("x", 2.0)
+    b.charge("y", 3.0)
+    merged = a.merged(b)
+    assert merged.get("x") == 3.0
+    assert merged.get("y") == 3.0
+    assert a.get("x") == 1.0  # originals untouched
+
+
+def test_empty_ledger_fractions():
+    assert CostLedger().fractions() == {}
+    led = CostLedger()
+    led.charge("z", 0.0)
+    assert led.fractions() == {"z": 0.0}

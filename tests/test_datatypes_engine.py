@@ -1,0 +1,130 @@
+"""Tests for the single- vs dual-context pack engines (paper section 4.1)."""
+
+import pytest
+
+from repro.datatypes import (
+    DOUBLE,
+    Contiguous,
+    DualContextEngine,
+    SingleContextEngine,
+    Vector,
+    make_engine,
+)
+from repro.datatypes.engine import unpack_stage_cost
+from repro.util import CostModel
+
+
+def sparse_type(nblocks, block_bytes=24, gap=8):
+    """A vector of `nblocks` short blocks -- classified sparse."""
+    doubles = block_bytes // 8
+    stride = doubles + gap // 8
+    return Vector(nblocks, doubles, stride, DOUBLE)
+
+
+COST = CostModel(cpu_noise=0.0)
+
+
+def test_contiguous_type_has_no_processing_cost():
+    dt = Contiguous(100_000, DOUBLE)
+    for cls in (SingleContextEngine, DualContextEngine):
+        stages = cls(dt.flatten(), COST).plan()
+        assert len(stages) == -(-dt.size // COST.pipeline_chunk)
+        assert all(s.cpu_s == 0.0 for s in stages)
+        assert all(s.dense for s in stages)
+
+
+def test_sparse_classification():
+    dt = sparse_type(1000)
+    eng = DualContextEngine(dt.flatten(), COST)
+    assert not eng.classify(0)
+
+
+def test_dense_classification():
+    # 4 KB contiguous runs are dense
+    dt = Vector(100, 512, 1024, DOUBLE)
+    eng = DualContextEngine(dt.flatten(), COST)
+    assert eng.classify(0)
+
+
+def test_single_context_search_grows_per_stage():
+    dt = sparse_type(20_000)
+    stages = SingleContextEngine(dt.flatten(), COST).plan()
+    searches = [s.search_s for s in stages]
+    assert len(searches) > 10
+    assert searches[0] == 0.0  # first stage starts at block 0
+    # strictly increasing: each stage re-walks everything already packed
+    assert all(b > a for a, b in zip(searches, searches[1:]))
+
+
+def test_dual_context_never_searches():
+    dt = sparse_type(20_000)
+    stages = DualContextEngine(dt.flatten(), COST).plan()
+    assert all(s.search_s == 0.0 for s in stages)
+    assert all(s.lookahead_s > 0.0 for s in stages)
+
+
+def test_search_total_quadratic_vs_constant():
+    """Doubling the datatype should ~4x the baseline search time but only
+    ~2x the optimised engine's total look-ahead time."""
+    small = sparse_type(10_000).flatten()
+    large = sparse_type(20_000).flatten()
+    s_small = sum(s.search_s for s in SingleContextEngine(small, COST).plan())
+    s_large = sum(s.search_s for s in SingleContextEngine(large, COST).plan())
+    assert s_large / s_small == pytest.approx(4.0, rel=0.1)
+    d_small = sum(s.lookahead_s for s in DualContextEngine(small, COST).plan())
+    d_large = sum(s.lookahead_s for s in DualContextEngine(large, COST).plan())
+    assert d_large / d_small == pytest.approx(2.0, rel=0.1)
+
+
+def test_pack_cost_identical_between_engines():
+    dt = sparse_type(5000)
+    s1 = SingleContextEngine(dt.flatten(), COST).plan()
+    s2 = DualContextEngine(dt.flatten(), COST).plan()
+    assert [s.pack_s for s in s1] == [s.pack_s for s in s2]
+    assert [s.nbytes for s in s1] == [s.nbytes for s in s2]
+
+
+def test_stages_cover_payload_exactly():
+    dt = sparse_type(777)
+    stages = DualContextEngine(dt.flatten(), COST).plan()
+    assert stages[0].start == 0
+    for a, b in zip(stages, stages[1:]):
+        assert b.start == a.start + a.nbytes
+    assert stages[-1].start + stages[-1].nbytes == dt.size
+
+
+def test_dense_stages_have_no_copy_cost():
+    dt = Vector(100, 4096, 8192, DOUBLE)  # 32 KB dense runs
+    stages = SingleContextEngine(dt.flatten(), COST).plan()
+    assert all(s.dense for s in stages)
+    assert all(s.search_s == 0.0 for s in stages)
+    # iovec setup only: far cheaper than copying the chunk
+    for s in stages:
+        assert s.pack_s < s.nbytes * COST.copy_byte / 10
+
+
+def test_make_engine_factory():
+    dt = sparse_type(10)
+    assert isinstance(make_engine(dt.flatten(), COST, True), DualContextEngine)
+    assert isinstance(make_engine(dt.flatten(), COST, False), SingleContextEngine)
+
+
+def test_empty_plan_for_zero_size():
+    # plan() guards size == 0 even though datatypes can't be empty;
+    # exercise via a blocklist of one zero-size... not constructible, so
+    # check the single-block path instead.
+    dt = Contiguous(1, DOUBLE)
+    stages = DualContextEngine(dt.flatten(), COST).plan()
+    assert len(stages) == 1 and stages[0].nbytes == 8
+
+
+def test_unpack_stage_cost():
+    assert unpack_stage_cost(1000, 10, COST, contiguous=True) == 0.0
+    expect = 1000 * COST.copy_byte + 10 * COST.block_overhead
+    assert unpack_stage_cost(1000, 10, COST, contiguous=False) == pytest.approx(expect)
+
+
+def test_lookahead_clipped_at_tail():
+    dt = sparse_type(5)  # fewer blocks than lookahead_depth
+    stages = DualContextEngine(dt.flatten(), COST).plan()
+    assert stages[0].lookahead_s == pytest.approx(5 * COST.lookahead_block)

@@ -1,0 +1,40 @@
+"""Smoke tests: the fast example scripts must run to completion.
+
+(The heavyweight examples -- reproduce_paper, laplacian3d_solver,
+reaction_diffusion_2d -- are exercised through their underlying apps in the
+benchmark suite instead.)
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv=()):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "ghost_exchange_2d.py",
+        "nonuniform_collectives.py",
+        "trace_communication.py",
+        "checkpoint_io.py",
+        "bratu_nonlinear.py",
+    ],
+)
+def test_example_runs(script, capsys):
+    run_example(script)
+    out = capsys.readouterr().out
+    assert len(out) > 100  # it printed its report

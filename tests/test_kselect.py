@@ -1,0 +1,72 @@
+"""Unit and property tests for Floyd-Rivest k_select."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import k_select
+
+
+def test_small_examples():
+    assert k_select([5, 1, 4, 2, 3], 1) == 1
+    assert k_select([5, 1, 4, 2, 3], 3) == 3
+    assert k_select([5, 1, 4, 2, 3], 5) == 5
+
+
+def test_singleton():
+    assert k_select([42], 1) == 42
+
+
+def test_duplicates():
+    data = [7, 7, 7, 1, 1, 9]
+    for k in range(1, 7):
+        assert k_select(data, k) == sorted(data)[k - 1]
+
+
+def test_input_not_mutated():
+    data = [3, 1, 2]
+    k_select(data, 2)
+    assert data == [3, 1, 2]
+
+
+def test_empty_raises():
+    with pytest.raises(ValueError):
+        k_select([], 1)
+
+
+@pytest.mark.parametrize("k", [0, 6, -1])
+def test_k_out_of_range(k):
+    with pytest.raises(ValueError):
+        k_select([1, 2, 3, 4, 5], k)
+
+
+def test_large_random_against_sorted():
+    rng = random.Random(0)
+    data = [rng.randrange(10**6) for _ in range(5000)]
+    ref = sorted(data)
+    for k in [1, 2, 100, 2500, 4999, 5000]:
+        assert k_select(data, k) == ref[k - 1]
+
+
+def test_adversarial_orders():
+    n = 2000
+    for data in ([*range(n)], [*range(n, 0, -1)], [0] * n):
+        ref = sorted(data)
+        for k in (1, n // 2, n):
+            assert k_select(data, k) == ref[k - 1]
+
+
+@given(st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=300), st.data())
+@settings(max_examples=200)
+def test_matches_sorted_oracle(data, draw):
+    k = draw.draw(st.integers(1, len(data)))
+    assert k_select(data, k) == sorted(data)[k - 1]
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=100), st.data())
+@settings(max_examples=100)
+def test_floats_match_sorted_oracle(data, draw):
+    k = draw.draw(st.integers(1, len(data)))
+    assert k_select(data, k) == sorted(data)[k - 1]

@@ -1,0 +1,224 @@
+"""Tests for Alltoallw: round-robin baseline vs binned optimisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes import DOUBLE, TypedBuffer
+from repro.mpi import Cluster, MPIConfig
+from repro.mpi.collectives.alltoallw import alltoallw
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def run_ring_exchange(n, config, count=100, algorithm=None, heterogeneous=False, seed=0):
+    """Each rank exchanges `count` doubles with its ring neighbours only
+    (the paper's Fig. 15 workload)."""
+    cluster = Cluster(n, config=config, cost=QUIET,
+                      heterogeneous=heterogeneous, seed=seed)
+
+    def main(comm):
+        succ = (comm.rank + 1) % n
+        pred = (comm.rank - 1) % n
+        sendbuf = np.full((n, count), float(comm.rank))
+        recvbuf = np.zeros((n, count))
+        sendspecs = [None] * n
+        recvspecs = [None] * n
+        for peer in {succ, pred}:
+            sendspecs[peer] = TypedBuffer(sendbuf, DOUBLE, count,
+                                          offset_bytes=peer * count * 8)
+            recvspecs[peer] = TypedBuffer(recvbuf, DOUBLE, count,
+                                          offset_bytes=peer * count * 8)
+        yield from alltoallw(comm, sendspecs, recvspecs, algorithm=algorithm)
+        return recvbuf
+
+    results = cluster.run(main)
+    return results, cluster.elapsed
+
+
+@pytest.mark.parametrize("algorithm", ["round_robin", "binned"])
+@pytest.mark.parametrize("n", [3, 4, 8])
+def test_ring_exchange_correct(algorithm, n):
+    results, _ = run_ring_exchange(n, MPIConfig.optimized(), algorithm=algorithm)
+    for rank, recvbuf in enumerate(results):
+        succ, pred = (rank + 1) % n, (rank - 1) % n
+        assert np.all(recvbuf[succ] == float(succ))
+        assert np.all(recvbuf[pred] == float(pred))
+        others = [i for i in range(n) if i not in (succ, pred)]
+        for i in others:
+            assert np.all(recvbuf[i] == 0.0)
+
+
+def test_full_exchange_correct_both_algorithms():
+    n = 5
+    count = 20
+
+    def build(comm):
+        sendbuf = np.arange(n * count, dtype=np.float64) + comm.rank * 1000
+        recvbuf = np.zeros(n * count)
+        sendspecs = [
+            TypedBuffer(sendbuf, DOUBLE, count, offset_bytes=i * count * 8)
+            for i in range(n)
+        ]
+        recvspecs = [
+            TypedBuffer(recvbuf, DOUBLE, count, offset_bytes=i * count * 8)
+            for i in range(n)
+        ]
+        return sendbuf, recvbuf, sendspecs, recvspecs
+
+    for algorithm in ("round_robin", "binned"):
+        cluster = Cluster(n, config=MPIConfig.optimized(), cost=QUIET,
+                          heterogeneous=False)
+
+        def main(comm):
+            sendbuf, recvbuf, sendspecs, recvspecs = build(comm)
+            yield from alltoallw(comm, sendspecs, recvspecs, algorithm=algorithm)
+            return recvbuf
+
+        results = cluster.run(main)
+        for rank, recvbuf in enumerate(results):
+            for src in range(n):
+                expect = np.arange(rank * count, (rank + 1) * count) + src * 1000
+                got = recvbuf[src * count : (src + 1) * count]
+                assert np.array_equal(got, expect), (rank, src)
+
+
+def test_binned_faster_with_skew():
+    """With heterogeneous nodes, exempting the zero bin avoids paying the
+    skew of non-partners (paper Fig. 15)."""
+    n = 16
+    _, t_base = run_ring_exchange(n, MPIConfig.baseline(), heterogeneous=True)
+    _, t_opt = run_ring_exchange(n, MPIConfig.optimized(), heterogeneous=True)
+    assert t_opt < t_base
+
+
+def test_zero_bin_sends_no_messages():
+    n = 8
+    cluster_base = Cluster(n, config=MPIConfig.baseline(), cost=QUIET, heterogeneous=False)
+    cluster_opt = Cluster(n, config=MPIConfig.optimized(), cost=QUIET, heterogeneous=False)
+
+    def main(comm):
+        succ = (comm.rank + 1) % n
+        pred = (comm.rank - 1) % n
+        sendbuf = np.zeros((n, 10))
+        recvbuf = np.zeros((n, 10))
+        sendspecs = [None] * n
+        recvspecs = [None] * n
+        for peer in {succ, pred}:
+            sendspecs[peer] = TypedBuffer(sendbuf, DOUBLE, 10, offset_bytes=peer * 80)
+            recvspecs[peer] = TypedBuffer(recvbuf, DOUBLE, 10, offset_bytes=peer * 80)
+        yield from comm.alltoallw(sendspecs, recvspecs)
+
+    cluster_base.run(main)
+    cluster_opt.run(main)
+    # baseline: every rank messages every other rank; optimised: only partners
+    assert cluster_base.net.messages_on_wire == n * (n - 1)
+    assert cluster_opt.net.messages_on_wire == n * 2
+
+
+def test_small_before_large_ordering():
+    """A small-message peer must not wait behind a large noncontiguous one."""
+    n = 3
+    # rank 0 sends a big noncontiguous message to rank 1 (who is *earlier*
+    # in round-robin order) and a tiny one to rank 2.
+    from repro.datatypes import Vector
+
+    def timings(config):
+        cluster = Cluster(n, config=config, cost=QUIET, heterogeneous=False)
+        recv_done = {}
+
+        def main(comm):
+            sendspecs = [None] * n
+            recvspecs = [None] * n
+            big_n = 40_000
+            if comm.rank == 0:
+                big = np.zeros((big_n, 2))
+                sendspecs[1] = TypedBuffer(big, Vector(big_n, 1, 2, DOUBLE))
+                small = np.zeros(4)
+                sendspecs[2] = TypedBuffer(small, DOUBLE, 4)
+            elif comm.rank == 1:
+                buf = np.zeros(big_n)
+                recvspecs[0] = TypedBuffer(buf, DOUBLE, big_n)
+            else:
+                buf = np.zeros(4)
+                recvspecs[0] = TypedBuffer(buf, DOUBLE, 4)
+            yield from comm.alltoallw(sendspecs, recvspecs)
+            recv_done[comm.rank] = comm.engine.now
+
+        cluster.run(main)
+        return recv_done
+
+    base = timings(MPIConfig.baseline())
+    opt = timings(MPIConfig.optimized())
+    # the small-message peer (rank 2) finishes much earlier when small
+    # messages are processed first
+    assert opt[2] < base[2]
+
+
+def test_spec_length_validated():
+    cluster = Cluster(2, config=MPIConfig.optimized(), cost=QUIET, heterogeneous=False)
+
+    def main(comm):
+        yield from comm.alltoallw([None], [None, None])
+
+    with pytest.raises(Exception):
+        cluster.run(main)
+
+
+def test_self_exchange_mismatch_rejected():
+    cluster = Cluster(1, config=MPIConfig.optimized(), cost=QUIET, heterogeneous=False)
+
+    def main(comm):
+        a = np.zeros(4)
+        b = np.zeros(2)
+        yield from comm.alltoallw(
+            [TypedBuffer(a, DOUBLE, 4)], [TypedBuffer(b, DOUBLE, 2)]
+        )
+
+    with pytest.raises(Exception):
+        cluster.run(main)
+
+
+@given(st.integers(2, 6), st.data())
+@settings(max_examples=25, deadline=None)
+def test_property_random_patterns_agree(n, data):
+    """Random sparse communication matrices deliver identically under both
+    algorithms."""
+    pattern = [
+        [data.draw(st.integers(0, 12)) for _ in range(n)] for _ in range(n)
+    ]
+    for r in range(n):
+        pattern[r][r] = 0
+
+    def run(algorithm):
+        cluster = Cluster(n, config=MPIConfig.optimized(), cost=QUIET,
+                          heterogeneous=False)
+
+        def main(comm):
+            counts_out = pattern[comm.rank]
+            counts_in = [pattern[src][comm.rank] for src in range(n)]
+            out_disp = np.concatenate(([0], np.cumsum(counts_out[:-1]))).astype(int)
+            in_disp = np.concatenate(([0], np.cumsum(counts_in[:-1]))).astype(int)
+            sendbuf = np.arange(sum(counts_out), dtype=np.float64) + comm.rank * 100
+            recvbuf = np.full(max(1, sum(counts_in)), -1.0)
+            sendspecs = [
+                TypedBuffer(sendbuf, DOUBLE, counts_out[i], offset_bytes=int(out_disp[i]) * 8)
+                if counts_out[i] else None
+                for i in range(n)
+            ]
+            recvspecs = [
+                TypedBuffer(recvbuf, DOUBLE, counts_in[i], offset_bytes=int(in_disp[i]) * 8)
+                if counts_in[i] else None
+                for i in range(n)
+            ]
+            yield from alltoallw(comm, sendspecs, recvspecs, algorithm=algorithm)
+            return recvbuf
+
+        return cluster.run(main)
+
+    res_rr = run("round_robin")
+    res_bin = run("binned")
+    for a, b in zip(res_rr, res_bin):
+        assert np.array_equal(a, b)

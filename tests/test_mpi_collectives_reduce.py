@@ -1,0 +1,138 @@
+"""Tests for array reductions: reduce, allreduce_array, scan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import Cluster, MPIConfig
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def make_cluster(n):
+    return Cluster(n, config=MPIConfig.optimized(), cost=QUIET, heterogeneous=False)
+
+
+@pytest.mark.parametrize("n,root", [(1, 0), (2, 0), (4, 3), (5, 0), (7, 2), (8, 0)])
+def test_reduce_sum_to_root(n, root):
+    cluster = make_cluster(n)
+
+    def main(comm):
+        send = np.full(8, float(comm.rank + 1))
+        result = yield from comm.reduce(send, root=root)
+        return None if result is None else result.copy()
+
+    results = cluster.run(main)
+    expect = np.full(8, float(n * (n + 1) // 2))
+    assert np.array_equal(results[root], expect)
+    assert all(results[r] is None for r in range(n) if r != root)
+
+
+def test_reduce_with_recvbuf_and_custom_op():
+    cluster = make_cluster(4)
+
+    def main(comm):
+        send = np.array([float(comm.rank), float(10 - comm.rank)])
+        if comm.rank == 0:
+            out = np.zeros(2)
+            yield from comm.reduce(send, out, op=np.maximum, root=0)
+            return out
+        yield from comm.reduce(send, op=np.maximum, root=0)
+        return None
+
+    results = cluster.run(main)
+    assert results[0].tolist() == [3.0, 10.0]
+
+
+def test_reduce_invalid_root():
+    cluster = make_cluster(2)
+
+    def main(comm):
+        yield from comm.reduce(np.zeros(2), root=7)
+
+    with pytest.raises(Exception):
+        cluster.run(main)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 6, 8, 11, 16])
+def test_allreduce_array_sum(n):
+    cluster = make_cluster(n)
+
+    def main(comm):
+        send = np.arange(5, dtype=np.float64) + comm.rank
+        result = yield from comm.allreduce_array(send)
+        return result
+
+    results = cluster.run(main)
+    expect = n * np.arange(5, dtype=np.float64) + n * (n - 1) / 2
+    for r in results:
+        assert np.array_equal(r, expect)
+
+
+def test_allreduce_array_in_place_recvbuf():
+    cluster = make_cluster(4)
+
+    def main(comm):
+        send = np.full(3, 1.0)
+        out = np.zeros(3)
+        yield from comm.allreduce_array(send, out)
+        return out
+
+    for r in make_cluster(4).run(main):
+        assert np.all(r == 4.0)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13])
+def test_scan_inclusive_prefix(n):
+    cluster = make_cluster(n)
+
+    def main(comm):
+        send = np.full(4, float(comm.rank + 1))
+        result = yield from comm.scan(send)
+        return result
+
+    results = cluster.run(main)
+    for rank, r in enumerate(results):
+        expect = sum(range(1, rank + 2))
+        assert np.all(r == float(expect)), (rank, r)
+
+
+def test_scan_max():
+    cluster = make_cluster(5)
+
+    def main(comm):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0]
+        send = np.array([values[comm.rank]])
+        result = yield from comm.scan(send, op=np.maximum)
+        return float(result[0])
+
+    assert cluster.run(main) == [3.0, 3.0, 4.0, 4.0, 5.0]
+
+
+def test_reduce_rejects_2d():
+    cluster = make_cluster(2)
+
+    def main(comm):
+        yield from comm.reduce(np.zeros((2, 2)))
+
+    with pytest.raises(Exception):
+        cluster.run(main)
+
+
+@given(st.integers(1, 8), st.integers(1, 16), st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_property_allreduce_matches_numpy(n, length, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-100, 100, size=(n, length)).astype(np.float64)
+    cluster = make_cluster(n)
+
+    def main(comm):
+        result = yield from comm.allreduce_array(data[comm.rank])
+        return result
+
+    results = cluster.run(main)
+    expect = data.sum(axis=0)
+    for r in results:
+        assert np.allclose(r, expect)

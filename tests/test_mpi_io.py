@@ -1,0 +1,197 @@
+"""Tests for the MPI-IO layer (file views, independent and collective IO)."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import DOUBLE, Vector
+from repro.mpi import Cluster, MPIConfig, MPIError
+from repro.mpi.io import File, _SimFileSystem
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def make_cluster(n):
+    return Cluster(n, config=MPIConfig.optimized(), cost=QUIET, heterogeneous=False)
+
+
+def file_bytes(cluster, name):
+    return _SimFileSystem.of(cluster).files[name]
+
+
+def test_write_at_and_read_at():
+    cluster = make_cluster(4)
+
+    def main(comm):
+        fh = yield from File.open(comm, "data.bin")
+        payload = np.full(8, float(comm.rank))
+        yield from fh.write_at(comm.rank * 64, payload)
+        yield from fh.close()
+        fh2 = yield from File.open(comm, "data.bin")
+        back = np.zeros(8)
+        yield from fh2.read_at(comm.rank * 64, back)
+        yield from fh2.close()
+        return back
+
+    results = cluster.run(main)
+    for rank, back in enumerate(results):
+        assert np.all(back == float(rank))
+
+
+@pytest.mark.parametrize("collective", [False, True])
+def test_interleaved_view_roundtrip(collective):
+    """The mpi4py tutorial pattern: rank r writes every size-th double
+    starting at r; reading the file back serially shows the interleave."""
+    n = 4
+    count = 10
+    cluster = make_cluster(n)
+
+    def main(comm):
+        fh = yield from File.open(comm, "noncontig.bin")
+        filetype = Vector(count, 1, comm.size, DOUBLE)
+        fh.set_view(comm.rank * 8, filetype)
+        payload = np.full(count, float(comm.rank))
+        if collective:
+            yield from fh.write_all(payload)
+        else:
+            yield from fh.write(payload)
+        yield from fh.close()
+        return None
+
+    cluster.run(main)
+    raw = file_bytes(cluster, "noncontig.bin")[: n * count * 8].view(np.float64)
+    expect = np.tile(np.arange(n, dtype=np.float64), count)
+    assert np.array_equal(raw, expect)
+
+
+@pytest.mark.parametrize("collective", [False, True])
+def test_interleaved_view_read(collective):
+    n = 4
+    count = 6
+    cluster = make_cluster(n)
+
+    def main(comm):
+        fh = yield from File.open(comm, "toread.bin")
+        if comm.rank == 0:  # seed the file serially
+            yield from fh.write_at(0, np.arange(n * count, dtype=np.float64))
+        yield from comm.barrier()
+        filetype = Vector(count, 1, comm.size, DOUBLE)
+        fh.set_view(comm.rank * 8, filetype)
+        back = np.zeros(count)
+        if collective:
+            yield from fh.read_all(back)
+        else:
+            yield from fh.read(back)
+        yield from fh.close()
+        return back
+
+    results = cluster.run(main)
+    for rank, back in enumerate(results):
+        expect = np.arange(rank, n * count, n, dtype=np.float64)
+        assert np.array_equal(back, expect), rank
+
+
+def test_collective_write_is_cheaper_for_interleaved_views():
+    """Two-phase IO turns the op storm into one big op per rank."""
+
+    def run(collective):
+        n = 8
+        count = 256
+        cluster = make_cluster(n)
+
+        def main(comm):
+            fh = yield from File.open(comm, "perf.bin")
+            filetype = Vector(count, 1, comm.size, DOUBLE)
+            fh.set_view(comm.rank * 8, filetype)
+            payload = np.full(count, float(comm.rank))
+            yield from comm.barrier()
+            t0 = comm.engine.now
+            if collective:
+                yield from fh.write_all(payload)
+            else:
+                yield from fh.write(payload)
+            elapsed = comm.engine.now - t0
+            yield from fh.close()
+            return elapsed
+
+        elapsed = max(cluster.run(main))
+        return elapsed, _SimFileSystem.of(cluster).ops
+
+    t_ind, ops_ind = run(False)
+    t_col, ops_col = run(True)
+    assert ops_ind == 8 * 256       # one op per tiny block
+    assert ops_col <= 8             # one contiguous chunk per rank
+    assert t_col < t_ind / 10
+
+
+def test_contiguous_view_default():
+    cluster = make_cluster(2)
+
+    def main(comm):
+        fh = yield from File.open(comm, "flat.bin")
+        fh.set_view(comm.rank * 80)  # no filetype: contiguous from disp
+        yield from fh.write(np.full(10, float(comm.rank + 1)))
+        yield from fh.close()
+        return None
+
+    cluster.run(main)
+    raw = file_bytes(cluster, "flat.bin")[:160].view(np.float64)
+    assert np.all(raw[:10] == 1.0) and np.all(raw[10:] == 2.0)
+
+
+def test_view_payload_mismatch_rejected():
+    cluster = make_cluster(1)
+
+    def main(comm):
+        fh = yield from File.open(comm, "bad.bin")
+        fh.set_view(0, Vector(4, 1, 2, DOUBLE))  # 32-byte filetype
+        yield from fh.write(np.zeros(3))         # 24 B: not a whole tile
+
+    with pytest.raises(MPIError):
+        cluster.run(main)
+
+
+def test_closed_file_rejected():
+    cluster = make_cluster(1)
+
+    def main(comm):
+        fh = yield from File.open(comm, "closed.bin")
+        yield from fh.close()
+        yield from fh.write_at(0, np.zeros(1))
+
+    with pytest.raises(MPIError):
+        cluster.run(main)
+
+
+def test_negative_displacement_rejected():
+    cluster = make_cluster(1)
+
+    def main(comm):
+        fh = yield from File.open(comm, "neg.bin")
+        fh.set_view(-1)
+        yield from comm.barrier()
+
+    with pytest.raises(MPIError):
+        cluster.run(main)
+
+
+def test_collective_read_write_roundtrip_random_views():
+    """Write collectively through interleaved views, read back through the
+    same views, and verify every rank recovers its own payload."""
+    n = 5  # non-power-of-two
+    count = 12
+    cluster = make_cluster(n)
+
+    def main(comm):
+        fh = yield from File.open(comm, "round.bin")
+        filetype = Vector(count, 1, comm.size, DOUBLE)
+        fh.set_view(comm.rank * 8, filetype)
+        payload = np.arange(count, dtype=np.float64) + 100 * comm.rank
+        yield from fh.write_all(payload)
+        back = np.zeros(count)
+        yield from fh.read_all(back)
+        yield from fh.close()
+        return payload, back
+
+    for payload, back in cluster.run(main):
+        assert np.array_equal(payload, back)

@@ -1,0 +1,88 @@
+"""Tests for the outlier-ratio detection (paper Eq. 1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.outlier import detection_cpu_seconds, has_outliers, outlier_ratio
+from repro.util import CostModel
+
+COST = CostModel()
+
+
+def test_uniform_set_has_ratio_one():
+    assert outlier_ratio([100] * 64, 0.125) == pytest.approx(1.0)
+
+
+def test_single_large_outlier_detected():
+    volumes = [8] * 63 + [32768]
+    assert outlier_ratio(volumes, 0.125) > 100
+    assert has_outliers(volumes, COST)
+
+
+def test_uniform_not_detected():
+    assert not has_outliers([4096] * 64, COST)
+
+
+def test_mild_variation_not_detected():
+    volumes = [100 + (i % 7) for i in range(64)]
+    assert not has_outliers(volumes, COST)
+
+
+def test_all_zero_bulk_with_nonzero_max():
+    volumes = [0] * 31 + [1024]
+    assert outlier_ratio(volumes, 0.125) == math.inf
+    assert has_outliers(volumes, COST)
+
+
+def test_all_zero_set():
+    assert outlier_ratio([0] * 8, 0.125) == 1.0
+    assert not has_outliers([0] * 8, COST)
+
+
+def test_small_sets():
+    assert outlier_ratio([5], 0.125) == 1.0
+    # two elements: one may be an outlier
+    assert outlier_ratio([1, 1000], 0.125) == 1000.0
+
+
+def test_empty_set_rejected():
+    with pytest.raises(ValueError):
+        outlier_ratio([], 0.125)
+
+
+@pytest.mark.parametrize("frac", [0.0, 1.0, -0.5, 2.0])
+def test_invalid_fraction_rejected(frac):
+    with pytest.raises(ValueError):
+        outlier_ratio([1, 2, 3], frac)
+
+
+def test_fraction_bounds_number_of_outliers():
+    # 8 ranks with fraction 0.25: up to 2 outliers tolerated in the bulk edge
+    volumes = [10] * 6 + [10_000, 10_000]
+    assert outlier_ratio(volumes, 0.25) == pytest.approx(1000.0)
+    # 3 heavy ranks exceed the fraction: the edge lands on a heavy one
+    volumes = [10] * 5 + [10_000] * 3
+    assert outlier_ratio(volumes, 0.25) == pytest.approx(1.0)
+
+
+def test_detection_cost_linear():
+    assert detection_cpu_seconds(128) == pytest.approx(2 * detection_cpu_seconds(64))
+
+
+@given(st.lists(st.integers(0, 10**9), min_size=1, max_size=200))
+@settings(max_examples=100)
+def test_ratio_at_least_one_or_inf(volumes):
+    r = outlier_ratio(volumes, 0.125)
+    assert r >= 1.0 or r == math.inf
+
+
+@given(st.lists(st.integers(1, 10**6), min_size=2, max_size=100), st.integers(2, 10))
+@settings(max_examples=100)
+def test_scaling_invariance(volumes, scale):
+    """Multiplying every volume by a constant leaves the ratio unchanged."""
+    r1 = outlier_ratio(volumes, 0.125)
+    r2 = outlier_ratio([v * scale for v in volumes], 0.125)
+    assert r2 == pytest.approx(r1)

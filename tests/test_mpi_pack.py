@@ -1,0 +1,104 @@
+"""Tests for the explicit MPI_Pack/Unpack API."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import DOUBLE, INT, Contiguous, Vector
+from repro.mpi import Cluster, MPIConfig, MPIError
+from repro.mpi.pack import mpi_pack, mpi_unpack, pack_size
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def make_cluster(n=1):
+    return Cluster(n, config=MPIConfig.optimized(), cost=QUIET, heterogeneous=False)
+
+
+def test_pack_size():
+    assert pack_size(10, DOUBLE) == 80
+    assert pack_size(4, Contiguous(3, DOUBLE)) == 96
+    with pytest.raises(MPIError):
+        pack_size(-1, DOUBLE)
+
+
+def test_pack_then_unpack_roundtrip():
+    from repro.datatypes import TypedBuffer
+
+    cluster = make_cluster()
+
+    def main(comm):
+        m = np.arange(16, dtype=np.float64).reshape(4, 4)
+        col = Vector(4, 1, 4, DOUBLE)
+        out = np.zeros(pack_size(1, col), dtype=np.uint8)
+        pos = yield from mpi_pack(comm, TypedBuffer(m, col), None, None, out, 0)
+        assert pos == 32
+        dst = np.zeros((4, 4))
+        pos2 = yield from mpi_unpack(comm, out, 0, TypedBuffer(dst, col))
+        assert pos2 == 32
+        return m[:, 0].copy(), dst[:, 0].copy()
+
+    src_col, dst_col = cluster.run(main)[0]
+    assert np.array_equal(src_col, dst_col)
+
+
+def test_multiple_packs_thread_position():
+    cluster = make_cluster(2)
+
+    def main(comm):
+        if comm.rank == 0:
+            header = np.array([7, 3], dtype=np.int32)
+            payload = np.arange(5, dtype=np.float64)
+            buf = np.zeros(pack_size(2, INT) + pack_size(5, DOUBLE), dtype=np.uint8)
+            pos = yield from mpi_pack(comm, header, INT, 2, buf, 0)
+            pos = yield from mpi_pack(comm, payload, DOUBLE, 5, buf, pos)
+            yield from comm.send(buf[:pos], dest=1)
+            return None
+        buf = np.zeros(48, dtype=np.uint8)
+        yield from comm.recv(buf, source=0)
+        header = np.zeros(2, dtype=np.int32)
+        payload = np.zeros(5)
+        pos = yield from mpi_unpack(comm, buf, 0, header, INT, 2)
+        pos = yield from mpi_unpack(comm, buf, pos, payload, DOUBLE, 5)
+        return header.tolist(), payload.tolist()
+
+    results = make_cluster(2).run(main)
+    header, payload = results[1]
+    assert header == [7, 3]
+    assert payload == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_pack_overflow_rejected():
+    cluster = make_cluster()
+
+    def main(comm):
+        buf = np.zeros(8, dtype=np.uint8)
+        yield from mpi_pack(comm, np.zeros(4), DOUBLE, 4, buf, 0)
+
+    with pytest.raises(MPIError):
+        cluster.run(main)
+
+
+def test_unpack_underflow_rejected():
+    cluster = make_cluster()
+
+    def main(comm):
+        buf = np.zeros(8, dtype=np.uint8)
+        out = np.zeros(4)
+        yield from mpi_unpack(comm, buf, 0, out, DOUBLE, 4)
+
+    with pytest.raises(MPIError):
+        cluster.run(main)
+
+
+def test_pack_charges_cpu_time():
+    cluster = make_cluster()
+
+    def main(comm):
+        data = np.zeros(1000)
+        buf = np.zeros(8000, dtype=np.uint8)
+        yield from mpi_pack(comm, data, DOUBLE, 1000, buf, 0)
+        return comm.engine.now
+
+    elapsed = cluster.run(main)[0]
+    assert elapsed >= 8000 * QUIET.copy_byte

@@ -1,0 +1,202 @@
+"""Tests for the distributed AIJ sparse matrix."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import Cluster, MPIConfig
+from repro.petsc import CG, Layout, PETScError, Vec
+from repro.petsc.aij import AIJMat
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def make_cluster(n):
+    return Cluster(n, config=MPIConfig.optimized(), cost=QUIET, heterogeneous=False)
+
+
+def run_matvec(nranks, n, entries, x_global, backend="datatype"):
+    """Assemble from per-rank entry lists and multiply; return y (global)."""
+    cluster = make_cluster(nranks)
+
+    def main(comm):
+        lay = Layout(comm.size, n)
+        A = AIJMat(comm, lay)
+        rows, cols, vals = entries[comm.rank]
+        A.set_values(rows, cols, vals)
+        yield from A.assemble(backend=backend)
+        x = Vec(comm, lay)
+        start, end = x.owned_range
+        x.local[:] = x_global[start:end]
+        y = Vec(comm, lay)
+        yield from A.mult(x, y)
+        return y.local.copy()
+
+    return np.concatenate(cluster.run(main))
+
+
+def test_identity_matvec():
+    n = 12
+    x = np.arange(n, dtype=np.float64)
+    # every rank sets its own diagonal rows
+    entries = {
+        r: (list(range(r * 3, r * 3 + 3)), list(range(r * 3, r * 3 + 3)), [1.0] * 3)
+        for r in range(4)
+    }
+    y = run_matvec(4, n, entries, x)
+    assert np.array_equal(y, x)
+
+
+def test_offrank_insertion_lands_at_owner():
+    """Rank 0 sets entries in rows owned by every other rank."""
+    n = 8
+    entries = {0: ([], [], []), 1: ([], [], [])}
+    rows = list(range(n))
+    cols = [(i + 1) % n for i in range(n)]
+    vals = [float(i + 1) for i in range(n)]
+    entries[0] = (rows, cols, vals)
+    x = np.ones(n)
+    y = run_matvec(2, n, entries, x)
+    assert np.array_equal(y, np.array(vals))
+
+
+def test_duplicate_entries_accumulate():
+    n = 4
+    entries = {
+        0: ([1, 1], [2, 2], [3.0, 4.0]),   # same slot set twice
+        1: ([1], [2], [5.0]),              # and once more from another rank
+    }
+    x = np.zeros(n)
+    x[2] = 1.0
+    y = run_matvec(2, n, entries, x)
+    assert y[1] == 12.0
+
+
+def test_matvec_matches_scipy_random():
+    rng = np.random.default_rng(0)
+    n = 40
+    nranks = 4
+    dense = sp.random(n, n, density=0.15, random_state=rng, format="coo")
+    i, j, v = dense.row, dense.col, dense.data
+    # scatter the entries across setter ranks arbitrarily
+    setter = rng.integers(0, nranks, size=len(i))
+    entries = {
+        r: (i[setter == r].tolist(), j[setter == r].tolist(), v[setter == r].tolist())
+        for r in range(nranks)
+    }
+    x = rng.random(n)
+    for backend in ("datatype", "hand_tuned"):
+        y = run_matvec(nranks, n, entries, x, backend=backend)
+        assert np.allclose(y, dense.tocsr() @ x)
+
+
+def test_empty_matrix():
+    n = 6
+    entries = {0: ([], [], []), 1: ([], [], [])}
+    y = run_matvec(2, n, entries, np.ones(n))
+    assert np.all(y == 0.0)
+
+
+def test_validation_errors():
+    cluster = make_cluster(2)
+
+    def main(comm):
+        lay = Layout(comm.size, 4)
+        A = AIJMat(comm, lay)
+        with pytest.raises(PETScError):
+            A.set_values([9], [0], [1.0])     # row out of range
+        with pytest.raises(PETScError):
+            A.set_values([0], [9], [1.0])     # col out of range
+        with pytest.raises(PETScError):
+            A.set_values([0, 1], [0], [1.0])  # length mismatch
+        with pytest.raises(PETScError):
+            A.set_values([0], [0], [1.0], mode="insert")
+        x = Vec(comm, lay)
+        y = Vec(comm, lay)
+        with pytest.raises(PETScError):
+            yield from A.mult(x, y)           # not assembled
+        yield from A.assemble()
+        with pytest.raises(PETScError):
+            A.set_values([0], [0], [1.0])     # already assembled
+        with pytest.raises(PETScError):
+            yield from A.assemble()
+        return True
+
+    assert all(cluster.run(main))
+
+
+def test_cg_solves_aij_laplacian_1d():
+    """Assemble the 1-D Dirichlet Laplacian as an AIJ matrix and solve."""
+    n = 32
+    nranks = 4
+    cluster = make_cluster(nranks)
+
+    def main(comm):
+        lay = Layout(comm.size, n)
+        A = AIJMat(comm, lay)
+        start, end = lay.start(comm.rank), lay.end(comm.rank)
+        h2 = float(n + 1) ** 2
+        for i in range(start, end):
+            A.set_value(i, i, 2.0 * h2)
+            if i > 0:
+                A.set_value(i, i - 1, -h2)
+            if i < n - 1:
+                A.set_value(i, i + 1, -h2)
+        yield from A.assemble()
+        b = Vec(comm, lay)
+        b.local[:] = 1.0
+        x = Vec(comm, lay)
+        result = yield from CG(A, b, x, rtol=1e-10, maxits=200)
+        return result, x.local.copy()
+
+    results = cluster.run(main)
+    assert results[0][0].converged
+    got = np.concatenate([r[1] for r in results])
+    # oracle: dense solve
+    h2 = float(n + 1) ** 2
+    A = np.zeros((n, n))
+    for i in range(n):
+        A[i, i] = 2 * h2
+        if i > 0:
+            A[i, i - 1] = -h2
+        if i < n - 1:
+            A[i, i + 1] = -h2
+    expect = np.linalg.solve(A, np.ones(n))
+    assert np.allclose(got, expect, atol=1e-8)
+
+
+def test_nnz_property():
+    cluster = make_cluster(2)
+
+    def main(comm):
+        lay = Layout(comm.size, 4)
+        A = AIJMat(comm, lay)
+        if comm.rank == 0:
+            A.set_values([0, 1, 2, 3], [0, 1, 2, 3], [1.0] * 4)
+        yield from A.assemble()
+        return A.nnz
+
+    # nnz is per-rank (local blocks)
+    assert sum(make_cluster(2).run(main)) == 4
+
+
+@given(st.integers(2, 5), st.integers(4, 24), st.data())
+@settings(max_examples=20, deadline=None)
+def test_property_random_assembly_matches_scipy(nranks, n, data):
+    nnz = data.draw(st.integers(0, 40))
+    rng = np.random.default_rng(data.draw(st.integers(0, 10**6)))
+    i = rng.integers(0, n, nnz)
+    j = rng.integers(0, n, nnz)
+    v = rng.standard_normal(nnz)
+    setter = rng.integers(0, nranks, nnz)
+    entries = {
+        r: (i[setter == r].tolist(), j[setter == r].tolist(), v[setter == r].tolist())
+        for r in range(nranks)
+    }
+    x = rng.random(n)
+    y = run_matvec(nranks, n, entries, x)
+    oracle = sp.coo_matrix((v, (i, j)), shape=(n, n)).tocsr() @ x
+    assert np.allclose(y, oracle)

@@ -1,0 +1,78 @@
+"""Tests for the DMDA global <-> natural ordering scatter."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Cluster, MPIConfig
+from repro.petsc import DMDA, Layout, Vec
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def make_cluster(n):
+    return Cluster(n, config=MPIConfig.optimized(), cost=QUIET, heterogeneous=False)
+
+
+@pytest.mark.parametrize("nranks,dims", [(4, (8, 6)), (6, (6, 6)), (4, (4, 4, 4))])
+def test_global_to_natural(nranks, dims):
+    cluster = make_cluster(nranks)
+
+    def main(comm):
+        da = DMDA(comm, dims)
+        g = da.create_global_vec()
+        # stamp each owned cell with its natural index
+        lo, hi = da.owned_box()
+        z, y, x = np.meshgrid(
+            np.arange(lo[0], hi[0]), np.arange(lo[1], hi[1]),
+            np.arange(lo[2], hi[2]), indexing="ij",
+        )
+        dims3 = da.dims
+        natural = (z * dims3[1] + y) * dims3[2] + x
+        g.local[:] = natural.reshape(-1).astype(np.float64)
+        sc = da.natural_scatter()
+        nat = Vec(comm, Layout(comm.size, g.global_size))
+        yield from sc.scatter(g, nat)
+        return nat.local.copy()
+
+    got = np.concatenate(make_cluster(nranks).run(main))
+    # natural ordering: position k holds natural index k
+    assert np.array_equal(got, np.arange(got.size, dtype=np.float64))
+
+
+def test_natural_roundtrip_with_reverse():
+    cluster = make_cluster(4)
+
+    def main(comm):
+        da = DMDA(comm, (8, 8))
+        g = da.create_global_vec()
+        rng = np.random.default_rng(comm.rank)
+        g.local[:] = rng.random(g.local_size)
+        sc = da.natural_scatter()
+        nat = Vec(comm, Layout(comm.size, g.global_size))
+        yield from sc.scatter(g, nat)
+        back = da.create_global_vec()
+        yield from sc.reversed().scatter(nat, back)
+        return bool(np.array_equal(g.local, back.local))
+
+    assert all(cluster.run(main))
+
+
+def test_natural_scatter_with_dof():
+    cluster = make_cluster(2)
+
+    def main(comm):
+        da = DMDA(comm, (4, 4), dof=2)
+        g = da.create_global_vec()
+        g.local[:] = np.arange(g.local_size) + 100 * comm.rank
+        sc = da.natural_scatter()
+        nat = Vec(comm, Layout(comm.size, g.global_size))
+        yield from sc.scatter(g, nat)
+        return nat.local.copy()
+
+    got = np.concatenate(cluster.run(main))
+    # components of one cell stay adjacent in natural order
+    assert got.size == 32
+    evens = got[0::2]
+    odds = got[1::2]
+    assert np.all(odds - evens == 1.0)

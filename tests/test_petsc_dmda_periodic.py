@@ -1,0 +1,125 @@
+"""Tests for periodic DMDA ghost exchange."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Cluster, MPIConfig
+from repro.petsc import DMDA, PETScError
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def make_cluster(n):
+    return Cluster(n, config=MPIConfig.optimized(), cost=QUIET, heterogeneous=False)
+
+
+def exchange_and_check(nranks, dims, periodic, stencil="star", width=1,
+                       backend="datatype"):
+    """Ghost exchange against a numpy 'wrap' padding oracle."""
+    cluster = make_cluster(nranks)
+
+    def main(comm):
+        da = DMDA(comm, dims, stencil=stencil, stencil_width=width,
+                  periodic=periodic)
+        v = da.create_global_vec()
+        lo, hi = da.owned_box()
+        z, y, x = np.meshgrid(
+            np.arange(lo[0], hi[0]), np.arange(lo[1], hi[1]),
+            np.arange(lo[2], hi[2]), indexing="ij",
+        )
+        v.local[:] = (z * 10000 + y * 100 + x).astype(np.float64).reshape(-1)
+        larr = da.create_local_array()
+        yield from da.global_to_local(v, larr, backend=backend)
+        return da.owned_box(), da.ghosted_box(), larr
+
+    results = cluster.run(main)
+    dims3 = [1] * (3 - len(dims)) + list(dims)
+    per3 = [False] * (3 - len(dims)) + (
+        [periodic] * len(dims) if isinstance(periodic, bool) else list(periodic)
+    )
+    z, y, x = np.meshgrid(*[np.arange(s) for s in dims3], indexing="ij")
+    full = (z * 10000 + y * 100 + x).astype(np.float64)
+    pad = [(width, width) if s > 1 else (0, 0) for s in dims3]
+    modes = ["wrap" if p else "constant" for p in per3]
+    padded = full
+    for axis in range(3):
+        p = [(0, 0)] * 3
+        p[axis] = pad[axis]
+        padded = np.pad(padded, p, mode=modes[axis])
+    off = [p[0] for p in pad]
+    for rank, ((lo, hi), (glo, ghi), larr) in enumerate(results):
+        expect = padded[
+            glo[0] + off[0]:ghi[0] + off[0],
+            glo[1] + off[1]:ghi[1] + off[1],
+            glo[2] + off[2]:ghi[2] + off[2],
+        ]
+        got = larr.reshape(expect.shape)
+        coords = np.meshgrid(
+            *[np.arange(glo[d], ghi[d]) for d in range(3)], indexing="ij"
+        )
+        outside = sum(
+            ((coords[d] < lo[d]) | (coords[d] >= hi[d])).astype(int)
+            for d in range(3)
+        )
+        mask = outside <= 1 if stencil == "star" else outside >= 0
+        assert np.array_equal(got[mask], expect[mask]), rank
+
+
+@pytest.mark.parametrize("backend", ["hand_tuned", "datatype"])
+def test_periodic_1d_ring(backend):
+    exchange_and_check(4, (16,), True, backend=backend)
+
+
+@pytest.mark.parametrize("stencil", ["star", "box"])
+def test_periodic_2d_torus(stencil):
+    exchange_and_check(4, (8, 8), True, stencil=stencil)
+
+
+def test_periodic_3d():
+    exchange_and_check(8, (8, 8, 8), True, stencil="box")
+
+
+def test_mixed_periodicity():
+    exchange_and_check(4, (8, 8), [True, False], stencil="box")
+
+
+def test_periodic_single_rank_wraps_onto_itself():
+    """With one rank everything wraps locally (pure local pairs)."""
+    exchange_and_check(1, (6, 6), True, stencil="box")
+
+
+def test_periodic_two_ranks_double_adjacency():
+    """With two ranks in a periodic dim, the same peer is both the left and
+    the right neighbour -- two exchange segments with one peer."""
+    exchange_and_check(2, (8,), True)
+
+
+def test_periodic_width_2():
+    exchange_and_check(4, (12, 12), True, stencil="box", width=2)
+
+
+def test_periodic_too_small_rejected():
+    cluster = make_cluster(1)
+
+    def main(comm):
+        DMDA(comm, (3,), stencil_width=2, periodic=True)
+        yield from comm.barrier()
+
+    with pytest.raises(PETScError):
+        cluster.run(main)
+
+
+def test_periodic_length_mismatch_rejected():
+    cluster = make_cluster(1)
+
+    def main(comm):
+        DMDA(comm, (8, 8), periodic=[True])
+        yield from comm.barrier()
+
+    with pytest.raises(PETScError):
+        cluster.run(main)
+
+
+def test_nonperiodic_unchanged_by_default():
+    exchange_and_check(4, (8, 8), False, stencil="box")

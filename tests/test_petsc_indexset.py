@@ -1,0 +1,56 @@
+"""Tests for index sets."""
+
+import numpy as np
+import pytest
+
+from repro.petsc import BlockIS, GeneralIS, PETScError, StrideIS
+
+
+def test_general_is():
+    s = GeneralIS([5, 2, 9])
+    assert s.indices().tolist() == [5, 2, 9]
+    assert len(s) == 3
+
+
+def test_general_is_rejects_2d():
+    with pytest.raises(PETScError):
+        GeneralIS([[1, 2], [3, 4]])
+
+
+def test_stride_is():
+    s = StrideIS(5, first=10, step=3)
+    assert s.indices().tolist() == [10, 13, 16, 19, 22]
+
+
+def test_stride_is_negative_step():
+    s = StrideIS(3, first=10, step=-2)
+    assert s.indices().tolist() == [10, 8, 6]
+
+
+def test_stride_is_empty():
+    assert len(StrideIS(0)) == 0
+
+
+def test_stride_is_zero_step_rejected():
+    with pytest.raises(PETScError):
+        StrideIS(3, 0, 0)
+
+
+def test_block_is():
+    s = BlockIS(3, [0, 2])
+    assert s.indices().tolist() == [0, 1, 2, 6, 7, 8]
+
+
+def test_block_is_validation():
+    with pytest.raises(PETScError):
+        BlockIS(0, [1])
+
+
+def test_validate_against():
+    s = GeneralIS([0, 5, 9])
+    s.validate_against(10)
+    with pytest.raises(PETScError):
+        s.validate_against(9)
+    with pytest.raises(PETScError):
+        GeneralIS([-1]).validate_against(10)
+    GeneralIS([]).validate_against(0)  # empty always fine

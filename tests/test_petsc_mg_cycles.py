@@ -1,0 +1,134 @@
+"""Tests for W-cycles and full multigrid (FMG)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Cluster, MPIConfig
+from repro.petsc import DMDA, MGSolver, PETScError
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def make_cluster(n):
+    return Cluster(n, config=MPIConfig.optimized(), cost=QUIET, heterogeneous=False)
+
+
+def rhs_for(da):
+    lo, hi = da.owned_box()
+    axes = []
+    active = 0
+    for d in range(3):
+        n = da.dims[d]
+        if n > 1:
+            active += 1
+            centers = (np.arange(lo[d], hi[d]) + 0.5) / n
+            axes.append(np.sin(np.pi * centers))
+        else:
+            axes.append(np.ones(hi[d] - lo[d]))
+    u = axes[0][:, None, None] * axes[1][None, :, None] * axes[2][None, None, :]
+    return (active * np.pi**2 * u).reshape(-1), u.reshape(-1)
+
+
+def test_wcycle_contracts_at_least_as_fast_as_vcycle():
+    def contraction(cycle):
+        cluster = make_cluster(4)
+
+        def main(comm):
+            da = DMDA(comm, (32, 32))
+            mg = MGSolver(da, nlevels=3)
+            b = da.create_global_vec()
+            rng = np.random.default_rng(comm.rank)
+            b.local[:] = rng.random(b.local_size)
+            x = da.create_global_vec()
+            op = mg.ops[0]
+            r = mg._r[0]
+            norms = []
+            for _ in range(6):
+                yield from op.residual(b, x, r)
+                norms.append((yield from r.norm()))
+                if cycle == "v":
+                    yield from mg.vcycle(0, b, x)
+                else:
+                    yield from mg.wcycle(0, b, x)
+            return norms
+
+        norms = cluster.run(main)[0]
+        factors = [b / a for a, b in zip(norms[1:], norms[2:])]
+        return float(np.mean(factors))
+
+    fv = contraction("v")
+    fw = contraction("w")
+    # the fine-grid smoother dominates both factors here; the W-cycle must
+    # be comparably healthy, never much worse
+    assert fw <= fv + 0.05
+    assert fw < 0.3 and fv < 0.3
+
+
+def test_invalid_gamma_rejected():
+    cluster = make_cluster(1)
+
+    def main(comm):
+        da = DMDA(comm, (8, 8))
+        mg = MGSolver(da, nlevels=2)
+        b = da.create_global_vec()
+        x = da.create_global_vec()
+        yield from mg.cycle(0, b, x, gamma=0)
+
+    with pytest.raises(PETScError):
+        cluster.run(main)
+
+
+@pytest.mark.parametrize("nranks,dims", [(1, (32, 32)), (4, (16, 16, 16))])
+def test_fmg_reaches_discretisation_accuracy_in_one_pass(nranks, dims):
+    cluster = make_cluster(nranks)
+
+    def main(comm):
+        da = DMDA(comm, dims)
+        mg = MGSolver(da, nlevels=3)
+        b = da.create_global_vec()
+        x = da.create_global_vec()
+        f, u_exact = rhs_for(da)
+        b.local[:] = f
+        rnorm = yield from mg.fmg_solve(b, x, cycles_per_level=2)
+        err = float(np.max(np.abs(x.local - u_exact))) if x.local_size else 0.0
+        err = yield from comm.allreduce(err, op=max)
+        b0 = yield from b.norm()
+        return rnorm, b0, err
+
+    for rnorm, b0, err in cluster.run(main):
+        # algebraic residual well below the data scale (3-D cycles contract
+        # at ~0.35, so two cycles per level land around 0.1), and the
+        # solution within discretisation error of the manufactured field
+        assert rnorm < 0.15 * b0
+        assert err < 0.05
+
+
+def test_fmg_cheaper_than_cold_vcycles():
+    """FMG with one cycle per level reaches a residual that cold V-cycling
+    needs several cycles to match."""
+    cluster = make_cluster(4)
+
+    def main(comm):
+        da = DMDA(comm, (32, 32))
+        mg = MGSolver(da, nlevels=3)
+        b = da.create_global_vec()
+        f, _ = rhs_for(da)
+        b.local[:] = f
+        x = da.create_global_vec()
+        fmg_res = yield from mg.fmg_solve(b, x, cycles_per_level=1)
+        # cold start V-cycles
+        x2 = da.create_global_vec()
+        op = mg.ops[0]
+        r = mg._r[0]
+        cycles_needed = 0
+        for _ in range(10):
+            yield from op.residual(b, x2, r)
+            n = yield from r.norm()
+            if n <= fmg_res:
+                break
+            yield from mg.vcycle(0, b, x2)
+            cycles_needed += 1
+        return cycles_needed
+
+    assert cluster.run(main)[0] >= 2

@@ -1,0 +1,212 @@
+"""Tests for the SNES (Newton-Krylov) and TS (time stepping) layers."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Cluster, MPIConfig
+from repro.petsc import DMDA, Laplacian, Layout, PETScError, Vec
+from repro.petsc.snes import NewtonKrylov
+from repro.petsc.ts import backward_euler, explicit_euler, rk4
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def make_cluster(n):
+    return Cluster(n, config=MPIConfig.optimized(), cost=QUIET, heterogeneous=False)
+
+
+# -- SNES ----------------------------------------------------------------------
+
+def test_newton_scalar_like_system():
+    """F(x) = x^2 - a elementwise: Newton converges quadratically."""
+    cluster = make_cluster(2)
+
+    def main(comm):
+        lay = Layout(comm.size, 8)
+        x = Vec(comm, lay)
+        yield from x.set(3.0)
+        a = 4.0
+
+        def residual(w, f):
+            f.local[:] = w.local**2 - a
+            yield from f._flops(2.0)
+
+        result = yield from NewtonKrylov(residual, x, rtol=1e-12)
+        return result, x.local.copy()
+
+    results = cluster.run(main)
+    result, xs = results[0]
+    assert result.converged
+    assert result.iterations <= 8
+    assert np.allclose(xs, 2.0)
+
+
+def test_newton_linear_problem_one_iteration():
+    """On a linear F, Newton needs a single (exactly-solved) step."""
+    cluster = make_cluster(2)
+
+    def main(comm):
+        lay = Layout(comm.size, 6)
+        x = Vec(comm, lay)
+
+        def residual(w, f):
+            f.local[:] = 3.0 * w.local - 6.0
+            yield from f._flops(2.0)
+
+        result = yield from NewtonKrylov(
+            residual, x, rtol=1e-10, linear_rtol=1e-12
+        )
+        return result, x.local.copy()
+
+    result, xs = cluster.run(main)[0]
+    assert result.converged
+    assert result.iterations <= 2
+    assert np.allclose(xs, 2.0)
+
+
+def test_newton_bratu_2d():
+    """The Bratu problem -lap(u) = mu * exp(u) with Dirichlet boundaries --
+    PETSc's classic SNES example -- on a distributed grid."""
+    cluster = make_cluster(4)
+    mu = 2.0
+
+    def main(comm):
+        da = DMDA(comm, (16, 16))
+        op = Laplacian(da)
+        work = da.create_global_vec()
+
+        def residual(w, f):
+            # F(u) = A u - mu exp(u)   (A = -lap with Dirichlet)
+            yield from op.mult(w, f)
+            np.subtract(f.local, mu * np.exp(w.local), out=f.local)
+            yield from f._flops(3.0)
+
+        x = da.create_global_vec()
+        result = yield from NewtonKrylov(residual, x, rtol=1e-10, maxits=30)
+        return result, x.local.copy()
+
+    results = cluster.run(main)
+    result = results[0][0]
+    assert result.converged, result.residual_norms
+    u = np.concatenate([r[1] for r in results])
+    assert u.min() > 0.0          # Bratu's lower solution branch is positive
+    assert u.max() < 2.0
+    # residual dropped by many orders
+    assert result.residual_norms[-1] < 1e-8 * result.residual_norms[0] + 1e-11
+
+
+def test_newton_reports_failure_on_unsolvable():
+    """F(x) = x^2 + 1 has no real root; the line search must give up."""
+    cluster = make_cluster(1)
+
+    def main(comm):
+        lay = Layout(1, 4)
+        x = Vec(comm, lay)
+
+        def residual(w, f):
+            f.local[:] = w.local**2 + 1.0
+            yield from f._flops(2.0)
+
+        result = yield from NewtonKrylov(residual, x, rtol=1e-10, maxits=20)
+        return result
+
+    result = cluster.run(main)[0]
+    assert not result.converged
+
+
+# -- TS ------------------------------------------------------------------------
+
+def exp_decay_rhs_factory():
+    def rhs(u, g):
+        g.local[:] = -u.local
+        yield from g._flops()
+    return rhs
+
+
+@pytest.mark.parametrize(
+    "method,order",
+    [(explicit_euler, 1), (rk4, 4)],
+)
+def test_explicit_methods_convergence_order(method, order):
+    """Integrate u' = -u over [0, 1]; halving dt divides the error by
+    ~2^order."""
+    cluster = make_cluster(2)
+
+    def run(steps):
+        def main(comm):
+            lay = Layout(comm.size, 4)
+            u = Vec(comm, lay)
+            yield from u.set(1.0)
+            yield from method(exp_decay_rhs_factory(), u, 1.0 / steps, steps)
+            return u.local.copy()
+
+        return np.concatenate(make_cluster(2).run(main))
+
+    err1 = np.abs(run(20) - np.exp(-1.0)).max()
+    err2 = np.abs(run(40) - np.exp(-1.0)).max()
+    rate = np.log2(err1 / err2)
+    assert order - 0.5 < rate < order + 0.7, (err1, err2, rate)
+
+
+def test_backward_euler_stable_on_stiff_problem():
+    """u' = -1000 u with dt far beyond the explicit stability limit."""
+    cluster = make_cluster(2)
+
+    def main(comm):
+        lay = Layout(comm.size, 4)
+        u = Vec(comm, lay)
+        yield from u.set(1.0)
+
+        def rhs(w, g):
+            g.local[:] = -1000.0 * w.local
+            yield from g._flops()
+
+        yield from backward_euler(rhs, u, dt=0.1, steps=5)
+        return u.local.copy()
+
+    u = np.concatenate(cluster.run(main))
+    assert np.all(u > 0.0)          # no oscillation
+    assert np.all(u < 1e-5)         # strong decay
+
+
+def test_heat_equation_decays_with_rk4():
+    """Ghosted heat equation on a DMDA: energy decays monotonically."""
+    cluster = make_cluster(4)
+
+    def main(comm):
+        da = DMDA(comm, (16, 16))
+        op = Laplacian(da)
+        u = da.create_global_vec()
+        lo, hi = da.owned_box()
+        ys = (np.arange(lo[1], hi[1]) + 0.5) / 16
+        xs = (np.arange(lo[2], hi[2]) + 0.5) / 16
+        u.local[:] = np.outer(np.sin(np.pi * ys), np.sin(np.pi * xs)).reshape(-1)
+
+        def rhs(w, g):
+            yield from op.mult(w, g)   # A = -lap, so u' = -A u
+            yield from g.scale(-1.0)
+
+        norms = []
+
+        def monitor(step, t, state):
+            norms.append(float(np.linalg.norm(state.local)))
+
+        # dt below the explicit stability limit dt < h^2/(4) with A ~ 4/h^2
+        yield from rk4(rhs, u, dt=5e-4, steps=20, monitor=monitor)
+        return norms
+
+    norms = cluster.run(main)[0]
+    assert all(b < a for a, b in zip(norms, norms[1:]))
+
+
+def test_ts_parameter_validation():
+    cluster = make_cluster(1)
+
+    def main(comm):
+        lay = Layout(1, 2)
+        u = Vec(comm, lay)
+        yield from explicit_euler(exp_decay_rhs_factory(), u, -0.1, 3)
+
+    with pytest.raises(PETScError):
+        cluster.run(main)

@@ -1,0 +1,130 @@
+"""Tests for spectrum estimation and the Chebyshev multigrid smoother."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Cluster, MPIConfig
+from repro.petsc import DMDA, Laplacian, MGSolver, PETScError
+from repro.petsc.spectrum import estimate_lambda_max, smoothing_range
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def make_cluster(n):
+    return Cluster(n, config=MPIConfig.optimized(), cost=QUIET, heterogeneous=False)
+
+
+def test_lambda_max_of_2d_laplacian():
+    n = 16
+    cluster = make_cluster(4)
+
+    def main(comm):
+        da = DMDA(comm, (n, n))
+        op = Laplacian(da)
+        b = da.create_global_vec()
+        lam = yield from estimate_lambda_max(op, b, iterations=30)
+        return lam
+
+    lam = cluster.run(main)[0]
+    # analytic upper bound (with the boundary modification): < 8/h^2
+    h2 = float(n * n)
+    assert 0.5 * 8 * h2 < lam <= 8 * h2 * 1.01
+
+
+def test_power_iteration_converges_from_any_seed():
+    cluster = make_cluster(2)
+
+    def main(comm):
+        da = DMDA(comm, (12, 12))
+        op = Laplacian(da)
+        b = da.create_global_vec()
+        lams = []
+        for seed in (1, 99):
+            lam = yield from estimate_lambda_max(op, b, iterations=40, seed=seed)
+            lams.append(lam)
+        return lams
+
+    lams = cluster.run(main)[0]
+    assert lams[0] == pytest.approx(lams[1], rel=0.02)
+
+
+def test_smoothing_range_brackets_upper_spectrum():
+    cluster = make_cluster(2)
+
+    def main(comm):
+        da = DMDA(comm, (16, 16))
+        op = Laplacian(da)
+        b = da.create_global_vec()
+        lo, hi = yield from smoothing_range(op, b)
+        return lo, hi
+
+    lo, hi = cluster.run(main)[0]
+    assert 0 < lo < hi
+    assert hi / lo == pytest.approx(10.0 * 1.05, rel=1e-6)
+
+
+def test_invalid_iterations_rejected():
+    cluster = make_cluster(1)
+
+    def main(comm):
+        da = DMDA(comm, (8, 8))
+        op = Laplacian(da)
+        b = da.create_global_vec()
+        yield from estimate_lambda_max(op, b, iterations=0)
+
+    with pytest.raises(PETScError):
+        cluster.run(main)
+
+
+def test_mg_with_chebyshev_smoother_converges():
+    cluster = make_cluster(4)
+
+    def main(comm):
+        da = DMDA(comm, (32, 32))
+        mg = MGSolver(da, nlevels=3, smoother="chebyshev")
+        b = da.create_global_vec()
+        rng = np.random.default_rng(comm.rank)
+        b.local[:] = rng.random(b.local_size)
+        x = da.create_global_vec()
+        result = yield from mg.solve(b, x, rtol=1e-8, max_cycles=25)
+        return result
+
+    result = cluster.run(main)[0]
+    assert result.converged, result.residual_norms
+    # Chebyshev smoothing should be competitive with Jacobi
+    assert result.iterations <= 20
+
+
+def test_mg_unknown_smoother_rejected():
+    cluster = make_cluster(1)
+
+    def main(comm):
+        da = DMDA(comm, (8, 8))
+        MGSolver(da, nlevels=2, smoother="gauss-seidel")
+        yield from comm.barrier()
+
+    with pytest.raises(PETScError):
+        cluster.run(main)
+
+
+def test_chebyshev_vs_jacobi_smoother_both_solve_same_problem():
+    def solve(smoother):
+        cluster = make_cluster(4)
+
+        def main(comm):
+            da = DMDA(comm, (16, 16))
+            mg = MGSolver(da, nlevels=2, smoother=smoother)
+            b = da.create_global_vec()
+            b.local[:] = 1.0
+            x = da.create_global_vec()
+            result = yield from mg.solve(b, x, rtol=1e-10, max_cycles=40)
+            return result.converged, x.local.copy()
+
+        results = cluster.run(main)
+        assert all(ok for ok, _ in results)
+        return np.concatenate([xs for _, xs in results])
+
+    xa = solve("jacobi")
+    xb = solve("chebyshev")
+    assert np.allclose(xa, xb, atol=1e-8)

@@ -1,0 +1,242 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simtime import (
+    Delay,
+    Engine,
+    SimulationDeadlock,
+    SimulationError,
+)
+
+
+def test_delay_advances_clock():
+    eng = Engine()
+    log = []
+
+    def proc():
+        yield Delay(1.5)
+        log.append(eng.now)
+        yield Delay(0.5)
+        log.append(eng.now)
+
+    eng.spawn(proc())
+    eng.run()
+    assert log == [1.5, 2.0]
+    assert eng.now == 2.0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-1.0)
+
+
+def test_zero_delay_allowed():
+    eng = Engine()
+
+    def proc():
+        yield Delay(0.0)
+        return "done"
+
+    p = eng.spawn(proc())
+    eng.run()
+    assert p.result == "done"
+    assert eng.now == 0.0
+
+
+def test_processes_interleave_deterministically():
+    eng = Engine()
+    log = []
+
+    def proc(name, dt):
+        for i in range(3):
+            yield Delay(dt)
+            log.append((eng.now, name, i))
+
+    eng.spawn(proc("a", 1.0))
+    eng.spawn(proc("b", 1.0))
+    eng.run()
+    # equal timestamps fire in spawn order
+    assert log == [
+        (1.0, "a", 0), (1.0, "b", 0),
+        (2.0, "a", 1), (2.0, "b", 1),
+        (3.0, "a", 2), (3.0, "b", 2),
+    ]
+
+
+def test_future_wakes_waiter_with_value():
+    eng = Engine()
+    fut = eng.future("f")
+    got = []
+
+    def waiter():
+        value = yield fut
+        got.append((eng.now, value))
+
+    def setter():
+        yield Delay(2.0)
+        fut.set_result(42)
+
+    eng.spawn(waiter())
+    eng.spawn(setter())
+    eng.run()
+    assert got == [(2.0, 42)]
+
+
+def test_future_multiple_waiters():
+    eng = Engine()
+    fut = eng.future()
+    got = []
+
+    def waiter(i):
+        value = yield fut
+        got.append((i, value))
+
+    for i in range(3):
+        eng.spawn(waiter(i))
+
+    def setter():
+        yield Delay(1.0)
+        fut.set_result("x")
+
+    eng.spawn(setter())
+    eng.run()
+    assert got == [(0, "x"), (1, "x"), (2, "x")]
+
+
+def test_future_double_resolve_is_error():
+    eng = Engine()
+    fut = eng.future()
+    fut.set_result(1)
+    with pytest.raises(SimulationError):
+        fut.set_result(2)
+
+
+def test_future_exception_propagates_into_waiter():
+    eng = Engine()
+    fut = eng.future()
+
+    def waiter():
+        with pytest.raises(KeyError):
+            yield fut
+        return "handled"
+
+    def setter():
+        yield Delay(1.0)
+        fut.set_exception(KeyError("boom"))
+
+    p = eng.spawn(waiter())
+    eng.spawn(setter())
+    eng.run()
+    assert p.result == "handled"
+
+
+def test_join_subprocess_returns_value():
+    eng = Engine()
+
+    def child():
+        yield Delay(3.0)
+        return 99
+
+    def parent():
+        value = yield eng.spawn(child())
+        return (eng.now, value)
+
+    p = eng.spawn(parent())
+    eng.run()
+    assert p.result == (3.0, 99)
+
+
+def test_yield_from_subroutine():
+    eng = Engine()
+
+    def sub():
+        yield Delay(1.0)
+        return "sub-result"
+
+    def proc():
+        v = yield from sub()
+        return v
+
+    p = eng.spawn(proc())
+    eng.run()
+    assert p.result == "sub-result"
+
+
+def test_deadlock_detection():
+    eng = Engine()
+
+    def stuck():
+        yield eng.future("never")
+
+    eng.spawn(stuck())
+    with pytest.raises(SimulationDeadlock):
+        eng.run()
+
+
+def test_bad_yield_raises_in_process():
+    eng = Engine()
+
+    def proc():
+        with pytest.raises(SimulationError):
+            yield "not a command"
+        return "ok"
+
+    p = eng.spawn(proc())
+    eng.run()
+    assert p.result == "ok"
+
+
+def test_unhandled_process_exception_propagates_from_run():
+    eng = Engine()
+
+    def proc():
+        yield Delay(1.0)
+        raise RuntimeError("unhandled")
+
+    eng.spawn(proc())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        eng.run()
+
+
+def test_run_until_pauses_clock():
+    eng = Engine()
+
+    def proc():
+        yield Delay(10.0)
+
+    eng.spawn(proc())
+    t = eng.run(until=4.0)
+    assert t == 4.0
+    assert eng.now == 4.0
+    eng.run()
+    assert eng.now == 10.0
+
+
+def test_run_all_collects_results():
+    eng = Engine()
+
+    def proc(i):
+        yield Delay(float(i))
+        return i * i
+
+    results = eng.run_all([proc(i) for i in range(5)])
+    assert results == [0, 1, 4, 9, 16]
+
+
+def test_spawn_rejects_non_generator():
+    eng = Engine()
+    with pytest.raises(TypeError):
+        eng.spawn(lambda: None)
+
+
+def test_timeout_future():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(2.5)
+        return eng.now
+
+    p = eng.spawn(proc())
+    eng.run()
+    assert p.result == 2.5

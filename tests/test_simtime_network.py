@@ -1,0 +1,147 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.simtime import Engine, NetworkModel
+from repro.util import CostModel
+
+
+def _quiet_cost(**kw):
+    """A cost model with zero jitter for exact-time assertions."""
+    return CostModel(cpu_noise=0.0, **kw)
+
+
+def test_transfer_time_alpha_beta():
+    cost = _quiet_cost()
+    assert cost.transfer_time(0) == pytest.approx(cost.alpha)
+    assert cost.transfer_time(1000) == pytest.approx(cost.alpha + 1000 * cost.beta)
+
+
+def test_transfer_occupies_ports_and_advances_clock():
+    eng = Engine()
+    net = NetworkModel(eng, 2, cost=_quiet_cost(), heterogeneous=False)
+
+    def proc():
+        yield from net.transfer(0, 1, 1400)
+
+    eng.spawn(proc())
+    eng.run()
+    assert eng.now == pytest.approx(net.cost.transfer_time(1400))
+    assert net.messages_on_wire == 1
+    assert net.bytes_on_wire == 1400
+
+
+def test_concurrent_sends_from_same_node_serialise():
+    eng = Engine()
+    net = NetworkModel(eng, 3, cost=_quiet_cost(), heterogeneous=False)
+    done = []
+
+    def sender(dst):
+        yield from net.transfer(0, dst, 14_000)
+        done.append((dst, eng.now))
+
+    eng.spawn(sender(1))
+    eng.spawn(sender(2))
+    eng.run()
+    t1 = net.cost.transfer_time(14_000)
+    assert done[0] == (1, pytest.approx(t1))
+    assert done[1] == (2, pytest.approx(2 * t1))
+
+
+def test_sends_from_different_nodes_proceed_in_parallel():
+    eng = Engine()
+    net = NetworkModel(eng, 4, cost=_quiet_cost(), heterogeneous=False)
+    done = []
+
+    def sender(src, dst):
+        yield from net.transfer(src, dst, 14_000)
+        done.append(eng.now)
+
+    eng.spawn(sender(0, 1))
+    eng.spawn(sender(2, 3))
+    eng.run()
+    t1 = net.cost.transfer_time(14_000)
+    assert done == [pytest.approx(t1), pytest.approx(t1)]
+
+
+def test_symmetric_exchange_does_not_deadlock():
+    eng = Engine()
+    net = NetworkModel(eng, 2, cost=_quiet_cost(), heterogeneous=False)
+
+    def a():
+        yield from net.transfer(0, 1, 100)
+
+    def b():
+        yield from net.transfer(1, 0, 100)
+
+    eng.spawn(a())
+    eng.spawn(b())
+    eng.run()  # must terminate
+
+
+def test_self_transfer_uses_memory_copy():
+    eng = Engine()
+    cost = _quiet_cost()
+    net = NetworkModel(eng, 2, cost=cost, heterogeneous=False)
+
+    def proc():
+        yield from net.transfer(1, 1, 1000)
+
+    eng.spawn(proc())
+    eng.run()
+    assert eng.now == pytest.approx(cost.copy_byte * 1000)
+
+
+def test_rank_range_validated():
+    eng = Engine()
+    net = NetworkModel(eng, 2, cost=_quiet_cost())
+
+    def proc():
+        yield from net.transfer(0, 5, 10)
+
+    eng.spawn(proc())
+    with pytest.raises(ValueError):
+        eng.run()
+
+
+def test_heterogeneity_defaults_follow_cluster_size():
+    eng = Engine()
+    small = NetworkModel(eng, 32, cost=_quiet_cost())
+    big = NetworkModel(eng, 64, cost=_quiet_cost())
+    assert not small.heterogeneous
+    assert big.heterogeneous
+    assert small.speed_factor(31) == 1.0
+    assert big.speed_factor(0) == 1.0
+    assert big.speed_factor(63) == pytest.approx(3.6 / 2.8)
+
+
+def test_cpu_seconds_scaling_and_determinism():
+    cost = CostModel(cpu_noise=0.05)
+    eng1 = Engine()
+    eng2 = Engine()
+    net1 = NetworkModel(eng1, 64, cost=cost, seed=7)
+    net2 = NetworkModel(eng2, 64, cost=cost, seed=7)
+    seq1 = [net1.cpu_seconds(r % 64, 1.0) for r in range(100)]
+    seq2 = [net2.cpu_seconds(r % 64, 1.0) for r in range(100)]
+    assert seq1 == seq2  # same seed, same sequence
+    # slow-half calls are scaled up
+    assert net1.cpu_seconds(63, 1.0) >= 3.6 / 2.8
+
+
+def test_cpu_seconds_rejects_negative():
+    eng = Engine()
+    net = NetworkModel(eng, 2, cost=_quiet_cost())
+    with pytest.raises(ValueError):
+        net.cpu_seconds(0, -1.0)
+
+
+def test_zero_cpu_time_is_free():
+    eng = Engine()
+    net = NetworkModel(eng, 2, cost=CostModel(cpu_noise=0.5))
+    assert net.cpu_seconds(0, 0.0) == 0.0
+
+
+def test_nranks_validated():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        NetworkModel(eng, 0)

@@ -1,0 +1,105 @@
+"""Unit tests for resources and ports."""
+
+import pytest
+
+from repro.simtime import Delay, Engine, Port, Resource
+from repro.simtime.engine import SimulationError
+
+
+def test_resource_serialises_single_capacity():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    log = []
+
+    def proc(name):
+        yield from res.use(1.0)
+        log.append((eng.now, name))
+
+    eng.spawn(proc("a"))
+    eng.spawn(proc("b"))
+    eng.spawn(proc("c"))
+    eng.run()
+    assert log == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+
+def test_resource_capacity_two_runs_pairs():
+    eng = Engine()
+    res = Resource(eng, capacity=2)
+    log = []
+
+    def proc(name):
+        yield from res.use(1.0)
+        log.append((eng.now, name))
+
+    for n in "abcd":
+        eng.spawn(proc(n))
+    eng.run()
+    assert log == [(1.0, "a"), (1.0, "b"), (2.0, "c"), (2.0, "d")]
+
+
+def test_resource_fifo_order():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    order = []
+
+    def proc(name, start_delay):
+        yield Delay(start_delay)
+        yield from res.use(10.0)
+        order.append(name)
+
+    eng.spawn(proc("late", 2.0))
+    eng.spawn(proc("early", 1.0))
+    eng.spawn(proc("first", 0.0))
+    eng.run()
+    assert order == ["first", "early", "late"]
+
+
+def test_release_idle_resource_is_error():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_invalid_capacity():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        Resource(eng, capacity=0)
+
+
+def test_port_tracks_busy_time():
+    eng = Engine()
+    port = Port(eng, "p")
+
+    def proc():
+        yield from port.use(2.0)
+        yield Delay(3.0)
+        yield from port.use(1.0)
+
+    eng.spawn(proc())
+    eng.run()
+    assert port.busy_time == pytest.approx(3.0)
+    assert eng.now == pytest.approx(6.0)
+
+
+def test_resource_released_on_exception_in_use():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+
+    def bad():
+        with pytest.raises(SimulationError):
+            yield from _use_then_raise(res)
+        # resource must be free again
+        yield from res.use(1.0)
+        return "ok"
+
+    def _use_then_raise(res):
+        yield from res.acquire()
+        try:
+            raise SimulationError("fail inside")
+        finally:
+            res.release()
+
+    p = eng.spawn(bad())
+    eng.run()
+    assert p.result == "ok"
