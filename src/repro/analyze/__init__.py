@@ -1,0 +1,53 @@
+"""MUST-style MPI correctness analyzer for the simulated stack.
+
+Three layers, one finding currency (:class:`Finding` / :class:`Report`):
+
+``repro.analyze.signatures``
+    Static datatype analysis built on typemap flattening: send/receive
+    signature compatibility, truncation, self-overlap, and the paper's
+    section-4.1 "pack slower than copy" density smell (SIG001-SIG005).
+
+``repro.analyze.runtime``
+    :class:`RuntimeVerifier` subscribes to cluster observer events and
+    checks wire-level signature matching, wait-for-graph deadlocks,
+    request leaks, unmatched traffic, collective consistency and
+    zero-byte synchronisation (DLK/REQ/P2P/COL/ZBS rules).
+
+``repro.analyze.lint``
+    AST rules over project and example code: bare excepts, O(N^2) block
+    rescans, ``yield from`` discipline (LNT001-LNT005).
+
+Shell entry point::
+
+    python -m repro.analyze --lint src
+    python -m repro.analyze --run examples/ghost_exchange_2d.py
+
+The rule catalogue is documented in ``docs/ANALYZE.md``.
+"""
+
+from repro.analyze.findings import RULES, SEVERITIES, Finding, Report
+from repro.analyze.lint import lint_file, lint_paths, lint_source
+from repro.analyze.runtime import RuntimeVerifier
+from repro.analyze.signatures import (
+    check_datatype,
+    check_transfer,
+    full_signature,
+    render_signature,
+    signature_prefix,
+)
+
+__all__ = [
+    "RULES",
+    "SEVERITIES",
+    "Finding",
+    "Report",
+    "RuntimeVerifier",
+    "check_datatype",
+    "check_transfer",
+    "full_signature",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_signature",
+    "signature_prefix",
+]

@@ -1,0 +1,104 @@
+"""Command-line entry point: ``python -m repro.analyze``.
+
+Modes (combinable):
+
+``python -m repro.analyze --lint src``
+    Lint every ``.py`` file under the given files/directories
+    (LNT rules).  Exit code 1 if anything actionable is found.
+
+``python -m repro.analyze examples/ghost_exchange_2d.py``
+    Same as ``--lint`` for the named script (scripts are linted by
+    default).
+
+``python -m repro.analyze --run examples/ghost_exchange_2d.py``
+    Additionally *execute* the script with every :class:`Cluster` it
+    creates instrumented by a :class:`RuntimeVerifier`, then report
+    runtime findings (deadlocks, leaked requests, signature mismatches,
+    collective inconsistencies, zero-byte audits).
+"""
+
+from __future__ import annotations
+
+import argparse
+import runpy
+import sys
+from typing import List
+
+from repro.analyze.findings import Report
+from repro.analyze.lint import lint_paths
+from repro.analyze.runtime import RuntimeVerifier
+
+
+def _run_verified(script: str, report: Report) -> None:
+    """Execute ``script`` with auto-attached runtime verifiers."""
+    from repro.mpi.comm import Cluster, MPIError
+    from repro.simtime.engine import SimulationDeadlock
+
+    verifiers: List[RuntimeVerifier] = []
+    original_init = Cluster.__init__
+    original_run = Cluster.run
+
+    def instrumented_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        verifiers.append(RuntimeVerifier.attach(self))
+
+    def instrumented_run(self, fn, *args, **kwargs):
+        # record deadlocks on the attached verifier even when the script
+        # drives cluster.run itself (and possibly swallows the exception)
+        try:
+            return original_run(self, fn, *args, **kwargs)
+        except SimulationDeadlock as exc:
+            for verifier in verifiers:
+                if verifier.cluster is self and verifier.deadlock is None:
+                    verifier.deadlock = exc
+            raise
+
+    Cluster.__init__ = instrumented_init
+    Cluster.run = instrumented_run
+    try:
+        runpy.run_path(script, run_name="__main__")
+    except (SimulationDeadlock, MPIError):
+        pass  # already recorded on the verifier; reported below
+    finally:
+        Cluster.__init__ = original_init
+        Cluster.run = original_run
+        for verifier in verifiers:
+            report.extend(verifier.finalize())
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="MPI correctness analyzer: lint, static signature "
+                    "checks and runtime verification.",
+    )
+    parser.add_argument("paths", nargs="+",
+                        help="python files or directories to analyze")
+    parser.add_argument("--lint", action="store_true",
+                        help="lint only (default when --run is not given)")
+    parser.add_argument("--run", action="store_true",
+                        help="also execute the given script(s) under a "
+                             "runtime verifier")
+    parser.add_argument("--show-info", action="store_true",
+                        help="include informational findings in the output")
+    args = parser.parse_args(argv)
+
+    report = Report()
+    try:
+        lint_paths(args.paths, report)
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+
+    if args.run:
+        for path in args.paths:
+            if path.endswith(".py"):
+                _run_verified(path, report)
+
+    show = ("error", "warning", "info") if args.show_info else ("error", "warning")
+    print(report.render(show=show))
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

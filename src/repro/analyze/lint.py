@@ -1,0 +1,193 @@
+"""AST-based project lint (rules LNT001-LNT005).
+
+Repo-specific invariants that generic linters do not know about:
+
+- **LNT001** -- bare ``except:`` clauses (swallow ``SystemExit`` and
+  ``KeyboardInterrupt``; always name the exception class),
+- **LNT002** -- calling ``.flatten()`` / ``.pack()`` on a loop-invariant
+  object inside a loop.  Flattening is cached per datatype but packing is
+  not, and re-deriving block lists per iteration is exactly the O(N^2)
+  rescan of flattened block lists the paper's section 4.1 eliminates,
+- **LNT003** -- *dropped generators*: this codebase's blocking
+  communication calls (``comm.send``, ``comm.barrier``, ``req.wait`` ...)
+  are generator functions that do nothing unless driven with
+  ``yield from``.  A bare ``comm.send(x, 1)`` statement silently sends
+  nothing -- the single most common bug in simulated-process code,
+- **LNT004** -- mutable default arguments,
+- **LNT005** -- ``time.sleep`` in simulated code (wall-clock sleeps do not
+  advance simulated time; charge ``yield Delay(..)`` or ``comm.cpu``).
+
+Use :func:`lint_paths` for files/directories or ``python -m repro.analyze
+--lint src`` from the shell; CI runs the latter on every push.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.analyze.findings import Report
+
+#: methods returning generators that MUST be driven with ``yield from``
+BLOCKING_GENERATOR_METHODS = frozenset({
+    "send", "recv", "sendrecv", "recv_obj", "probe",
+    "barrier", "bcast", "allreduce", "gather_obj", "split",
+    "reduce", "allreduce_array", "scan",
+    "gatherv", "scatterv", "allgather", "alltoall", "allgatherv", "alltoallw",
+    "wait", "waitall", "waitany",
+    "cpu", "compute",
+    "global_to_local", "local_to_global",
+})
+
+#: rebuild-in-loop methods for LNT002
+RESCAN_METHODS = frozenset({"flatten", "pack"})
+
+
+def _assigned_names(node: ast.AST) -> set:
+    """Names (re)bound anywhere inside ``node``."""
+    out: set = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, (ast.Store, ast.Del)):
+            out.add(sub.id)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            out.add(sub.name)
+    return out
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, report: Report):
+        self.path = path
+        self.report = report
+        self._loop_invariant_names: List[set] = []
+
+    # LNT001 ---------------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report.add(
+                "LNT001",
+                "bare 'except:'; catch a named exception class instead",
+                location=self.path, line=node.lineno,
+            )
+        self.generic_visit(node)
+
+    # LNT004 ---------------------------------------------------------------
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                self.report.add(
+                    "LNT004",
+                    f"mutable default argument in {node.name}(); "
+                    "use None and create it inside the function",
+                    location=self.path, line=default.lineno,
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self._check_dropped_generators(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # LNT003 ---------------------------------------------------------------
+    def _check_dropped_generators(self, fn: ast.FunctionDef) -> None:
+        for sub in ast.walk(fn):
+            if not isinstance(sub, ast.Expr):
+                continue
+            call = sub.value
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in BLOCKING_GENERATOR_METHODS
+            ):
+                self.report.add(
+                    "LNT003",
+                    f"result of blocking call '.{func.attr}(...)' is "
+                    "discarded; generators do nothing unless driven with "
+                    "'yield from'",
+                    location=self.path, line=sub.lineno,
+                )
+
+    # LNT002 / LNT005 ------------------------------------------------------
+    def _visit_loop(self, node: Union[ast.For, ast.While]) -> None:
+        assigned = _assigned_names(node)
+        for sub in ast.walk(node):
+            if not (isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute)):
+                continue
+            if sub.func.attr not in RESCAN_METHODS:
+                continue
+            recv = sub.func.value
+            # only flag calls on a plain name that the loop never rebinds:
+            # a loop-invariant datatype/buffer being re-flattened per trip
+            if isinstance(recv, ast.Name) and recv.id not in assigned:
+                self.report.add(
+                    "LNT002",
+                    f"'{recv.id}.{sub.func.attr}()' re-derives its block "
+                    "list on every loop iteration; hoist it out of the loop",
+                    location=self.path, line=sub.lineno,
+                )
+        self.generic_visit(node)
+
+    visit_For = _visit_loop
+    visit_While = _visit_loop
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "sleep"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            self.report.add(
+                "LNT005",
+                "time.sleep does not advance simulated time; "
+                "yield Delay(seconds) or comm.cpu(seconds) instead",
+                location=self.path, line=node.lineno,
+            )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>",
+                report: Optional[Report] = None) -> Report:
+    """Lint python ``source`` text; syntax errors become LNT findings-free
+    errors raised to the caller."""
+    report = report if report is not None else Report()
+    tree = ast.parse(source, filename=path)
+    _Linter(path, report).visit(tree)
+    return report
+
+
+def lint_file(path: Union[str, Path], report: Optional[Report] = None) -> Report:
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), str(path), report)
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(p)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {p}")
+    return out
+
+
+def lint_paths(paths: Iterable[Union[str, Path]],
+               report: Optional[Report] = None) -> Report:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    report = report if report is not None else Report()
+    for path in iter_python_files(paths):
+        lint_file(path, report)
+    return report

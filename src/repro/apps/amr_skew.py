@@ -29,7 +29,7 @@ binned Alltoallw is built for.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional
 
 import numpy as np
 

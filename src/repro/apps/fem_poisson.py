@@ -24,7 +24,7 @@ the convergence *order*, not just "it runs".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

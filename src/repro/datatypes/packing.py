@@ -19,7 +19,14 @@ from typing import Optional
 import numpy as np
 
 from repro.datatypes.flatten import BlockList
-from repro.datatypes.typemap import Contiguous, Datatype, DatatypeError
+from repro.datatypes.typemap import (
+    Contiguous,
+    Datatype,
+    DatatypeError,
+    TypeSignature,
+    _rle_repeat,
+    sig_crc,
+)
 
 
 def _as_byte_view(buffer: np.ndarray) -> np.ndarray:
@@ -98,6 +105,18 @@ class TypedBuffer:
 
     def is_contiguous(self) -> bool:
         return self._blocks is not None and self._blocks.num_blocks == 1
+
+    def signature(self) -> TypeSignature:
+        """The MPI type signature of the whole buffer (count copies)."""
+        if self.count == 0:
+            return ()
+        return _rle_repeat(self.datatype.typemap_signature(), self.count)
+
+    def signature_hash(self) -> int:
+        """Stable 32-bit hash of :meth:`signature` (0 for zero-count)."""
+        if self.count == 0:
+            return 0
+        return sig_crc(self.signature())
 
     def _ensure_index(self) -> None:
         if self._index is None and self._blocks is not None:

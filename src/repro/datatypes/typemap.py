@@ -31,15 +31,72 @@ of 3-double elements -- is::
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import zlib
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datatypes.flatten import BlockList, merge_adjacent
 
+#: a type signature: run-length-encoded primitive sequence ((name, count), ...)
+TypeSignature = Tuple[Tuple[str, int], ...]
+
+#: above this many runs a signature is summarised rather than expanded
+_SIG_RUN_CAP = 65536
+
 
 class DatatypeError(ValueError):
     """Invalid datatype construction or use."""
+
+
+def _rle_compress(runs: Sequence[Tuple[str, int]]) -> TypeSignature:
+    """Merge adjacent runs of the same primitive; drop zero-count runs."""
+    out: list[tuple[str, int]] = []
+    for name, count in runs:
+        if count <= 0:
+            continue
+        if out and out[-1][0] == name:
+            out[-1] = (name, out[-1][1] + count)
+        else:
+            out.append((name, count))
+    return tuple(out)
+
+
+def _rle_repeat(sig: TypeSignature, n: int) -> TypeSignature:
+    """The signature of ``n`` back-to-back copies of ``sig``."""
+    if n <= 0 or not sig:
+        return ()
+    if n == 1:
+        return sig
+    if len(sig) == 1:
+        name, count = sig[0]
+        return ((name, count * n),)
+    if sig[0][0] == sig[-1][0]:
+        # the boundary runs of adjacent copies merge:
+        #   [h, mid..., t] * n  ->  h, mid..., (t+h, mid...) * (n-1), t
+        head = sig[0]
+        tail = sig[-1]
+        mid = sig[1:-1]
+        if (len(sig) - 1) * n > _SIG_RUN_CAP:
+            return (("...", sum(c for _n, c in sig) * n),)
+        body: tuple = ((tail[0], tail[1] + head[1]),) + mid
+        return _rle_compress((head,) + mid + (body * (n - 1)) + (tail,))
+    if len(sig) * n > _SIG_RUN_CAP:
+        # summarise enormous heterogeneous signatures (hash stays stable)
+        return (("...", sum(c for _n, c in sig) * n),)
+    return _rle_compress(tuple(sig) * n)
+
+
+def sig_crc(sig: TypeSignature) -> int:
+    """Deterministic 32-bit hash of a type signature (stable across
+    processes, unlike builtin ``hash()``)."""
+    return zlib.crc32(repr(sig).encode("ascii")) & 0xFFFFFFFF
+
+
+def signature_hash(datatype: "Datatype", count: int = 1) -> int:
+    """A deterministic 32-bit hash of ``count`` copies of the type's
+    primitive signature."""
+    return sig_crc(_rle_repeat(datatype.typemap_signature(), count))
 
 
 class Datatype:
@@ -69,6 +126,16 @@ class Datatype:
         """A hashable structural summary (used for type-matching checks)."""
         return (type(self).__name__, self.size, self.extent, self.num_blocks)
 
+    def typemap_signature(self) -> TypeSignature:
+        """The run-length-encoded primitive sequence of one instance.
+
+        This is MPI's *type signature*: the ordered list of basic datatypes
+        in the typemap, ignoring displacements.  Send/receive pairs must
+        have compatible signatures (MPI-3.0 section 3.3.1); the analyzer's
+        SIG001 rule checks exactly this.
+        """
+        raise NotImplementedError
+
     def is_contiguous(self) -> bool:
         bl = self.flatten()
         return bl.num_blocks == 1 and int(bl.offsets[0]) == 0 and self.size == self.extent
@@ -90,6 +157,9 @@ class Primitive(Datatype):
     def _flatten(self) -> BlockList:
         return BlockList(np.array([0]), np.array([self.size]))
 
+    def typemap_signature(self) -> TypeSignature:
+        return ((self.name, 1),)
+
     def __repr__(self) -> str:
         return f"Primitive({self.name})"
 
@@ -100,6 +170,24 @@ INT = Primitive("INT", np.int32)
 LONG = Primitive("LONG", np.int64)
 CHAR = Primitive("CHAR", np.int8)
 BYTE = Primitive("BYTE", np.uint8)
+
+_PRIMITIVE_BY_DTYPE = {
+    p.np_dtype.str: p for p in (DOUBLE, FLOAT, INT, LONG, CHAR, BYTE)
+}
+
+
+def primitive_for(np_dtype) -> Primitive:
+    """The canonical :class:`Primitive` for a numpy dtype.
+
+    Returns the shared module-level primitive when one exists (so inferred
+    and explicit datatypes produce identical type signatures); otherwise a
+    fresh ``Primitive`` named after the dtype.
+    """
+    dt = np.dtype(np_dtype)
+    prim = _PRIMITIVE_BY_DTYPE.get(dt.str)
+    if prim is not None:
+        return prim
+    return Primitive(str(dt).upper(), dt)
 
 
 def _check_base(base: Datatype) -> Datatype:
@@ -123,6 +211,9 @@ class Contiguous(Datatype):
     def _flatten(self) -> BlockList:
         disps = np.arange(self.count, dtype=np.int64) * self.base.extent
         return self.base.flatten().replicated(disps)
+
+    def typemap_signature(self) -> TypeSignature:
+        return _rle_repeat(self.base.typemap_signature(), self.count)
 
 
 class Vector(Datatype):
@@ -151,6 +242,9 @@ class Vector(Datatype):
         disps = np.arange(self.count, dtype=np.int64) * (self.stride * self.base.extent)
         return block.flatten().replicated(disps)
 
+    def typemap_signature(self) -> TypeSignature:
+        return _rle_repeat(self.base.typemap_signature(), self.count * self.blocklength)
+
 
 class HVector(Datatype):
     """Like :class:`Vector` but the stride is given in bytes."""
@@ -172,6 +266,9 @@ class HVector(Datatype):
         block = Contiguous(self.blocklength, self.base) if self.blocklength > 1 else self.base
         disps = np.arange(self.count, dtype=np.int64) * self.stride_bytes
         return block.flatten().replicated(disps)
+
+    def typemap_signature(self) -> TypeSignature:
+        return _rle_repeat(self.base.typemap_signature(), self.count * self.blocklength)
 
 
 class Indexed(Datatype):
@@ -212,6 +309,11 @@ class Indexed(Datatype):
         lens = np.concatenate(parts_len)
         return merge_adjacent(offs, lens)
 
+    def typemap_signature(self) -> TypeSignature:
+        return _rle_repeat(
+            self.base.typemap_signature(), int(self.blocklengths.sum())
+        )
+
 
 class HIndexed(Datatype):
     """Like :class:`Indexed` but displacements are in bytes."""
@@ -240,6 +342,11 @@ class HIndexed(Datatype):
         lens = self.blocklengths * self.base.size
         return merge_adjacent(offs, lens)
 
+    def typemap_signature(self) -> TypeSignature:
+        return _rle_repeat(
+            self.base.typemap_signature(), int(self.blocklengths.sum())
+        )
+
 
 class IndexedBlock(Datatype):
     """Equal-length blocks at varying displacements (in base elements)."""
@@ -261,6 +368,11 @@ class IndexedBlock(Datatype):
         block = Contiguous(self.blocklength, self.base) if self.blocklength > 1 else self.base
         disps = self.displacements * self.base.extent
         return block.flatten().replicated(disps)
+
+    def typemap_signature(self) -> TypeSignature:
+        return _rle_repeat(
+            self.base.typemap_signature(), len(self.displacements) * self.blocklength
+        )
 
 
 class Struct(Datatype):
@@ -300,6 +412,12 @@ class Struct(Datatype):
         offs = np.concatenate(parts_off)
         lens = np.concatenate(parts_len)
         return merge_adjacent(offs, lens)
+
+    def typemap_signature(self) -> TypeSignature:
+        runs: list = []
+        for b, t in zip(self.blocklengths, self.types):
+            runs.extend(_rle_repeat(t.typemap_signature(), b))
+        return _rle_compress(runs)
 
 
 class Subarray(Datatype):
@@ -366,6 +484,12 @@ class Subarray(Datatype):
         run = Contiguous(subsizes[-1], self.base) if subsizes[-1] > 1 else self.base
         return run.flatten().replicated(disp)
 
+    def typemap_signature(self) -> TypeSignature:
+        n = 1
+        for s in self.subsizes:
+            n *= s
+        return _rle_repeat(self.base.typemap_signature(), n)
+
 
 class Resized(Datatype):
     """Override a type's extent (``MPI_Type_create_resized`` with lb=0)."""
@@ -380,3 +504,6 @@ class Resized(Datatype):
 
     def _flatten(self) -> BlockList:
         return self.base.flatten()
+
+    def typemap_signature(self) -> TypeSignature:
+        return self.base.typemap_signature()

@@ -158,7 +158,7 @@ def _select_algorithm(comm: Comm, counts, datatype) -> str:
 
 
 def _ring(comm, recvbuffer, datatype, counts, displs) -> Generator:
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="allgatherv", detail=tuple(int(c) for c in counts))
     n, rank = comm.size, comm.rank
     right = (rank + 1) % n
     left = (rank - 1) % n
@@ -174,7 +174,7 @@ def _recursive_doubling(comm, recvbuffer, datatype, counts, displs) -> Generator
     n, rank = comm.size, comm.rank
     if n & (n - 1):
         raise MPIError("recursive doubling requires a power-of-two size")
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="allgatherv", detail=tuple(int(c) for c in counts))
     mask = 1
     phase = 0
     while mask < n:
@@ -192,7 +192,7 @@ def _recursive_doubling(comm, recvbuffer, datatype, counts, displs) -> Generator
 
 def _dissemination(comm, recvbuffer, datatype, counts, displs) -> Generator:
     n, rank = comm.size, comm.rank
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="allgatherv", detail=tuple(int(c) for c in counts))
     dist = 1
     phase = 0
     while dist < n:

@@ -76,7 +76,7 @@ def _local_copy(comm: Comm, sendspecs, recvspecs) -> Generator:
 
 def _round_robin(comm: Comm, sendspecs, recvspecs) -> Generator:
     """Baseline: message to every rank, zero-byte included, in rank order."""
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="alltoallw")
     n, rank = comm.size, comm.rank
     yield from _local_copy(comm, sendspecs, recvspecs)
     requests: list[Request] = []
@@ -103,7 +103,7 @@ def _round_robin(comm: Comm, sendspecs, recvspecs) -> Generator:
 
 def _binned(comm: Comm, sendspecs, recvspecs) -> Generator:
     """Optimised: zero bin exempted; small bin processed before large."""
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="alltoallw")
     n, rank = comm.size, comm.rank
     threshold = comm.cost.small_message_threshold
     yield from _local_copy(comm, sendspecs, recvspecs)

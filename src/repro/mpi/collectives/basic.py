@@ -19,16 +19,26 @@ from repro.mpi.comm import Comm, _COLLECTIVE_TAG_BASE
 _CTRL_BYTES = 16
 
 
-def _tag_window(comm: Comm, width: int = 64) -> int:
-    """Reserve a tag range for one collective invocation."""
+def _tag_window(comm: Comm, width: int = 64, op: str = "collective",
+                detail: Any = None) -> int:
+    """Reserve a tag range for one collective invocation.
+
+    ``op`` names the collective (``"barrier"``, ``"bcast"``, ...) and
+    ``detail`` carries call arguments that must agree across ranks (root,
+    counts, ...).  Both are reported to cluster observers so the runtime
+    verifier can check that every rank of the communicator entered the
+    *same* collective, in the same order, with consistent arguments
+    (rules COL001/COL002).
+    """
     seq = getattr(comm, "_coll_seq", 0)
     comm._coll_seq = seq + 1
+    comm.cluster._notify("collective", comm.grank, comm.ctx, seq, op, detail)
     return _COLLECTIVE_TAG_BASE + seq * width
 
 
 def barrier(comm: Comm) -> Generator:
     """Dissemination barrier: ceil(log2 N) rounds of zero-payload messages."""
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="barrier")
     n, rank = comm.size, comm.rank
     if n == 1:
         return
@@ -45,7 +55,7 @@ def barrier(comm: Comm) -> Generator:
 
 def bcast(comm: Comm, value: Any, root: int = 0, nbytes: int = _CTRL_BYTES) -> Generator:
     """Binomial-tree broadcast of a python value; returns it on every rank."""
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="bcast", detail=root)
     n, rank = comm.size, comm.rank
     if not 0 <= root < n:
         raise ValueError(f"invalid root {root}")
@@ -82,7 +92,7 @@ def allreduce(
     """
     if op is None:
         op = operator.add
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="allreduce")
     n, rank = comm.size, comm.rank
     if n == 1:
         return value
@@ -126,7 +136,7 @@ def allreduce(
 def gather_obj(comm: Comm, value: Any, root: int = 0,
                nbytes: int = _CTRL_BYTES) -> Generator:
     """Gather python values at ``root``; returns the list there, None elsewhere."""
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="gather_obj", detail=root)
     n, rank = comm.size, comm.rank
     if rank == root:
         out: List[Any] = [None] * n

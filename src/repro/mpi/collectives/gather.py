@@ -42,7 +42,7 @@ def gatherv(
     if not 0 <= root < comm.size:
         raise MPIError(f"invalid root {root}")
     send = np.asarray(sendbuf)
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="gatherv", detail=root)
     if comm.rank != root:
         if send.size:  # zero contributions send nothing (root posts no recv)
             req = yield from comm.isend(send, root, base)
@@ -86,7 +86,7 @@ def scatterv(
     """Scatter varying-size pieces from ``root`` (linear algorithm)."""
     if not 0 <= root < comm.size:
         raise MPIError(f"invalid root {root}")
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="scatterv", detail=root)
     if recvbuf is None:
         raise MPIError("every rank must supply recvbuf")
     recv = np.asarray(recvbuf)
@@ -152,7 +152,7 @@ def alltoall(
     n, rank = comm.size, comm.rank
     if send.size < n * count or recv.size < n * count:
         raise MPIError("alltoall buffers too small for count*size elements")
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="alltoall", detail=count)
 
     def block(arr, idx):
         return TypedBuffer(arr, dt, count, offset_bytes=idx * count * dt.extent)

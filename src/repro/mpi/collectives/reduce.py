@@ -16,7 +16,7 @@ numpy ufunc (``np.add`` by default).
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from typing import Callable, Generator
 
 import numpy as np
 
@@ -41,7 +41,7 @@ def reduce(comm: Comm, sendbuf, recvbuf=None, op: Callable = np.add,
     if not 0 <= root < comm.size:
         raise MPIError(f"invalid root {root}")
     send = _check_buf(sendbuf)
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="reduce", detail=root)
     n, rank = comm.size, comm.rank
     rel = (rank - root) % n
     acc = send.copy()
@@ -73,7 +73,7 @@ def allreduce_array(comm: Comm, sendbuf, recvbuf=None,
                     op: Callable = np.add) -> Generator:
     """Elementwise allreduce (recursive doubling with pre/post fold)."""
     send = _check_buf(sendbuf)
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="allreduce_array")
     n, rank = comm.size, comm.rank
     acc = send.copy()
     if n > 1:
@@ -130,7 +130,7 @@ def scan(comm: Comm, sendbuf, recvbuf=None, op: Callable = np.add) -> Generator:
     both its prefix and its total.
     """
     send = _check_buf(sendbuf)
-    base = _tag_window(comm)
+    base = _tag_window(comm, op="scan")
     n, rank = comm.size, comm.rank
     prefix = send.copy()
     total = send.copy()

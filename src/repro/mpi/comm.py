@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.datatypes.engine import make_engine, unpack_stage_cost
 from repro.datatypes.packing import TypedBuffer
-from repro.datatypes.typemap import BYTE, Datatype, Primitive
+from repro.datatypes.typemap import BYTE, Datatype, primitive_for, sig_crc
 from repro.mpi.config import MPIConfig
 from repro.mpi.request import Request, Status
 from repro.simtime.engine import Delay, Engine, SimFuture
@@ -70,7 +70,7 @@ def as_typed(
         return buffer
     arr = np.asarray(buffer)
     if datatype is None:
-        datatype = Primitive(str(arr.dtype).upper(), arr.dtype)
+        datatype = primitive_for(arr.dtype)
     if count is None:
         if arr.size * arr.itemsize % datatype.extent:
             raise MPIError(
@@ -86,11 +86,12 @@ class _SendRecord:
 
     __slots__ = (
         "src", "dst", "tag", "ctx", "data", "nbytes", "is_obj",
-        "match_fut", "recv_rec", "sent_fut", "recv_fut", "arrived",
+        "match_fut", "recv_rec", "sent_fut", "recv_fut", "arrived", "sig",
     )
 
     def __init__(self, engine: Engine, src: int, dst: int, tag: int,
-                 ctx: Any, data: Any, nbytes: int, is_obj: bool):
+                 ctx: Any, data: Any, nbytes: int, is_obj: bool,
+                 sig: Optional[int] = None):
         self.src = src
         self.dst = dst
         self.tag = tag
@@ -98,6 +99,7 @@ class _SendRecord:
         self.data = data
         self.nbytes = nbytes
         self.is_obj = is_obj
+        self.sig = sig  # flattened typemap signature tuple (None for obj sends)
         self.match_fut = engine.future(f"match {src}->{dst} tag={tag}")
         self.recv_rec: Optional[_RecvRecord] = None
         self.sent_fut = engine.future(f"sent {src}->{dst} tag={tag}")
@@ -108,11 +110,11 @@ class _SendRecord:
 class _RecvRecord:
     """A posted receive (``source`` is cluster-global or ANY_SOURCE)."""
 
-    __slots__ = ("source", "tag", "ctx", "tb", "future", "is_obj", "comm")
+    __slots__ = ("source", "tag", "ctx", "tb", "future", "is_obj", "comm", "sig")
 
     def __init__(self, source: int, tag: int, ctx: Any,
                  tb: Optional[TypedBuffer], future: SimFuture, is_obj: bool,
-                 comm: "Comm"):
+                 comm: "Comm", sig: Optional[int] = None):
         self.source = source
         self.tag = tag
         self.ctx = ctx
@@ -120,6 +122,7 @@ class _RecvRecord:
         self.future = future
         self.is_obj = is_obj
         self.comm = comm
+        self.sig = sig  # expected signature tuple (None for obj receives)
 
     def matches(self, rec: _SendRecord) -> bool:
         return (
@@ -160,7 +163,36 @@ class Cluster:
         self.ledgers = [CostLedger() for _ in range(nranks)]
         self._posted: List[List[_RecvRecord]] = [[] for _ in range(nranks)]
         self._unexpected: List[List[_SendRecord]] = [[] for _ in range(nranks)]
+        self._observers: List[Any] = []
         self._comms = [Comm(self, r) for r in range(nranks)]
+
+    # -- instrumentation -----------------------------------------------------
+
+    def add_observer(self, observer: Any) -> None:
+        """Register an instrumentation observer.
+
+        An observer is any object; for every event ``evt`` the cluster looks
+        up an ``on_<evt>`` method and, when present, calls it.  Events:
+
+        ==================  =====================================================
+        ``send_posted``     ``(rec)`` -- a message entered the matching machinery
+        ``recv_posted``     ``(grank, rrec)`` -- a receive was posted
+        ``match``           ``(rec, rrec)`` -- a send/receive pair bound
+        ``truncation``      ``(rec, rrec)`` -- a bind failed: message too large
+        ``request``         ``(grank, req)`` -- a :class:`Request` was handed out
+        ``collective``      ``(grank, ctx, seq, op, detail)`` -- collective entry
+        ==================  =====================================================
+
+        Used by :class:`repro.analyze.runtime.RuntimeVerifier` and
+        :class:`repro.mpi.trace.MessageTrace`.
+        """
+        self._observers.append(observer)
+
+    def _notify(self, event: str, *args: Any) -> None:
+        for obs in self._observers:
+            fn = getattr(obs, "on_" + event, None)
+            if fn is not None:
+                fn(*args)
 
     def comm(self, rank: int) -> "Comm":
         return self._comms[rank]
@@ -202,6 +234,7 @@ class Cluster:
     # -- matching ------------------------------------------------------------
 
     def _post_send(self, rec: _SendRecord) -> None:
+        self._notify("send_posted", rec)
         posted = self._posted[rec.dst]
         for i, rrec in enumerate(posted):
             if rrec.matches(rec):
@@ -218,6 +251,7 @@ class Cluster:
                     break
 
     def _post_recv(self, dst: int, rrec: _RecvRecord) -> None:
+        self._notify("recv_posted", dst, rrec)
         unexpected = self._unexpected[dst]
         for i, rec in enumerate(unexpected):
             if rrec.matches(rec):
@@ -230,6 +264,7 @@ class Cluster:
         if not rec.is_obj:
             capacity = rrec.tb.nbytes if rrec.tb is not None else 0
             if rec.nbytes > capacity:
+                self._notify("truncation", rec, rrec)
                 exc = TruncationError(
                     f"message {rec.src}->{rec.dst} tag={rec.tag} is "
                     f"{rec.nbytes} bytes but the receive holds {capacity}"
@@ -237,6 +272,7 @@ class Cluster:
                 rrec.future.set_exception(exc)
                 rec.match_fut.set_exception(exc)
                 return
+        self._notify("match", rec, rrec)
         rec.recv_rec = rrec
         rec.recv_fut = rrec.future
         rec.match_fut.set_result(rrec)
@@ -354,13 +390,16 @@ class Comm:
 
         data = tb.pack()
         rec = _SendRecord(self.engine, self.grank, self._to_global(dest), tag,
-                          self.ctx, data, nbytes, is_obj=False)
+                          self.ctx, data, nbytes, is_obj=False,
+                          sig=tb.signature())
         self.cluster._post_send(rec)
         self.engine.spawn(self._deliver(rec), f"deliver {self.rank}->{dest}")
         if nbytes <= self.config.eager_threshold:
             # eager: the payload is buffered; the send is already complete
             rec.sent_fut.set_result(None)
-        return Request(rec.sent_fut, "send")
+        req = Request(rec.sent_fut, "send")
+        self.cluster._notify("request", self.grank, req)
+        return req
 
     def send(self, buffer: Any, dest: int, tag: int = 0,
              datatype: Optional[Datatype] = None, count: Optional[int] = None,
@@ -385,9 +424,12 @@ class Comm:
         tb = as_typed(buffer, datatype, count, offset_bytes)
         fut = self.engine.future(f"recv@{self.rank} tag={tag}")
         gsource = source if source == ANY_SOURCE else self._to_global(source)
-        rrec = _RecvRecord(gsource, tag, self.ctx, tb, fut, is_obj=False, comm=self)
+        rrec = _RecvRecord(gsource, tag, self.ctx, tb, fut, is_obj=False,
+                           comm=self, sig=tb.signature())
         self.cluster._post_recv(self.grank, rrec)
-        return Request(fut, "recv")
+        req = Request(fut, "recv")
+        self.cluster._notify("request", self.grank, req)
+        return req
 
     def recv(self, buffer: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              datatype: Optional[Datatype] = None, count: Optional[int] = None,
@@ -455,7 +497,9 @@ class Comm:
         self.cluster._post_send(rec)
         self.engine.spawn(self._deliver(rec), f"deliver-obj {self.rank}->{dest}")
         rec.sent_fut.set_result(None)
-        return Request(rec.sent_fut, "send")
+        # control-plane sends complete eagerly; dropping the request is fine,
+        # so it is exempt from leak tracking (kind "send_obj")
+        return Request(rec.sent_fut, "send_obj")
 
     def recv_obj(self, source: int, tag: int) -> Generator:
         """Receive a python object; returns the value."""
@@ -478,13 +522,16 @@ class Comm:
         # wire time: contiguous payloads go as one transfer; packed
         # noncontiguous payloads flow in pipeline chunks
         start = self.engine.now
+        sig_meta = None if rec.sig is None else sig_crc(rec.sig)
         if rec.nbytes <= cost.pipeline_chunk or rec.is_obj:
-            yield from self.net.transfer(rec.src, rec.dst, rec.nbytes)
+            yield from self.net.transfer(rec.src, rec.dst, rec.nbytes,
+                                         tag=rec.tag, sig=sig_meta)
         else:
             pos = 0
             while pos < rec.nbytes:
                 chunk = min(cost.pipeline_chunk, rec.nbytes - pos)
-                yield from self.net.transfer(rec.src, rec.dst, chunk)
+                yield from self.net.transfer(rec.src, rec.dst, chunk,
+                                             tag=rec.tag, sig=sig_meta)
                 pos += chunk
         self.cluster.ledgers[rec.src].charge("comm", self.engine.now - start)
         rec.arrived = True

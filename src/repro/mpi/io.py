@@ -28,13 +28,10 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.datatypes.flatten import BlockList
-from repro.datatypes.packing import TypedBuffer
-from repro.datatypes.typemap import BYTE, Contiguous, Datatype, Resized
+from repro.datatypes.typemap import Contiguous, Datatype, Resized
 from repro.mpi.comm import Comm, MPIError, as_typed
 from repro.mpi.collectives.basic import _tag_window
 from repro.mpi.request import Request
-from repro.simtime.engine import Delay
 from repro.simtime.resources import Resource
 
 
@@ -203,7 +200,7 @@ class File:
 
     def _two_phase(self, offs, lens, data, write: bool, out_tb) -> Generator:
         comm = self.comm
-        base = _tag_window(comm)
+        base = _tag_window(comm, op="io_collective")
         my_lo = int(offs.min()) if len(offs) else 0
         my_hi = int((offs + lens).max()) if len(offs) else 0
         extents = yield from comm.gather_obj((my_lo, my_hi), root=0)

@@ -21,7 +21,6 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from repro.datatypes.packing import TypedBuffer
 from repro.datatypes.typemap import Datatype
 from repro.mpi.comm import Comm, MPIError, as_typed
 

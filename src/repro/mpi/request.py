@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+import warnings
+from typing import Any, Generator
 
 from repro.simtime.engine import SimFuture
 
@@ -26,21 +27,57 @@ class Request:
 
     ``yield from req.wait()`` blocks the calling process until completion and
     returns the :class:`Status` (receives) or ``None`` (sends).
+
+    Every request must eventually be completed with :meth:`wait` (or observed
+    with :meth:`test` until it reports completion).  A request that is
+    garbage-collected without either is a *leaked request* -- real MPI would
+    leak the internal operation state -- and triggers a
+    :class:`ResourceWarning` plus a ``REQ001`` finding when a
+    :class:`repro.analyze.runtime.RuntimeVerifier` is attached.
     """
 
-    __slots__ = ("_future", "kind")
+    __slots__ = ("_future", "kind", "_waited", "__weakref__")
 
     def __init__(self, future: SimFuture, kind: str):
         self._future = future
         self.kind = kind
+        self._waited = False
 
     @property
     def done(self) -> bool:
         return self._future.done
 
+    @property
+    def waited(self) -> bool:
+        """True once :meth:`wait` ran (or :meth:`test` observed completion)."""
+        return self._waited
+
     def wait(self) -> Generator:
+        self._waited = True
         result = yield self._future
         return result
+
+    def test(self) -> tuple[bool, Any]:
+        """Nonblocking completion check (``MPI_Test``): ``(done, result)``.
+
+        Observing a completed request counts as having waited on it.
+        """
+        if not self._future.done:
+            return False, None
+        self._waited = True
+        return True, self._future.value
+
+    def __del__(self):  # pragma: no cover - exercised via gc in tests
+        try:
+            if self.kind in ("send", "recv") and not self._waited:
+                warnings.warn(
+                    f"Request ({self.kind}) garbage-collected without "
+                    "wait()/test(); nonblocking operations must be completed",
+                    ResourceWarning,
+                    stacklevel=2,
+                )
+        except Exception:
+            pass  # interpreter shutdown: warning machinery may be gone
 
     @staticmethod
     def waitall(requests: list["Request"]) -> Generator:

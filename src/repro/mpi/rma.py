@@ -23,7 +23,7 @@ target's exposed numpy array when the operation completes.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import Generator, List, Optional
 
 import numpy as np
 

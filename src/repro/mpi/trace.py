@@ -2,10 +2,13 @@
 
 Attach a :class:`MessageTrace` to a cluster before running to record every
 message (simulated send time, arrival time, source, destination, tag,
-payload bytes).  The trace can then answer the questions one asks of a real
-MPI profile: the rank-to-rank communication matrix, per-rank message/byte
-counts, zero-byte synchronisation counts (the quantity the paper's binned
-Alltoallw eliminates), and a simple timeline histogram.
+payload bytes, and the flattened datatype signature hash).  The trace can
+then answer the questions one asks of a real MPI profile: the rank-to-rank
+communication matrix, per-rank message/byte counts, zero-byte
+synchronisation counts (the quantity the paper's binned Alltoallw
+eliminates), a simple timeline histogram, and -- for the correctness
+analyzer -- which messages never matched a receive (:meth:`unmatched`) and
+whether send/receive signatures agreed on the wire.
 
 >>> cluster = Cluster(8, config=MPIConfig.baseline())
 >>> trace = MessageTrace.attach(cluster)
@@ -24,7 +27,7 @@ import numpy as np
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One delivered message."""
+    """One delivered message (one wire chunk for pipelined payloads)."""
 
     t_sent: float     # when the payload entered the wire
     t_arrived: float  # when the last chunk landed
@@ -32,6 +35,9 @@ class TraceRecord:
     dst: int
     tag: int
     nbytes: int
+    #: crc32 of the run-length-encoded primitive typemap of the send buffer
+    #: (``None`` for control-plane object messages and raw transfers)
+    sig: Optional[int] = None
 
 
 class MessageTrace:
@@ -40,18 +46,20 @@ class MessageTrace:
     def __init__(self, nranks: int):
         self.nranks = nranks
         self.records: List[TraceRecord] = []
+        self.cluster = None  # set by attach()
 
     @classmethod
     def attach(cls, cluster) -> "MessageTrace":
         """Instrument ``cluster`` (call before ``cluster.run``)."""
         trace = cls(cluster.nranks)
+        trace.cluster = cluster
         original = cluster.net.transfer
 
-        def traced_transfer(src, dst, nbytes):
+        def traced_transfer(src, dst, nbytes, latency=None, tag=-1, sig=None):
             t_sent = cluster.engine.now
-            yield from original(src, dst, nbytes)
+            yield from original(src, dst, nbytes, latency, tag=tag, sig=sig)
             trace.records.append(
-                TraceRecord(t_sent, cluster.engine.now, src, dst, -1, nbytes)
+                TraceRecord(t_sent, cluster.engine.now, src, dst, tag, nbytes, sig)
             )
 
         cluster.net.transfer = traced_transfer
@@ -88,6 +96,40 @@ class MessageTrace:
         for r in self.records:
             out[r.src] += r.nbytes
         return out
+
+    def signature_counts(self) -> dict:
+        """Histogram of datatype signature hashes seen on the wire."""
+        out: dict = {}
+        for r in self.records:
+            if r.sig is not None:
+                out[r.sig] = out.get(r.sig, 0) + 1
+        return out
+
+    def unmatched(self) -> dict:
+        """Operations still pending in the matching machinery.
+
+        Call after (or instead of) ``cluster.run``.  Returns::
+
+            {"sends": [(src, dst, tag, nbytes), ...],   # never received
+             "recvs": [(rank, source, tag), ...]}       # never satisfied
+
+        Non-empty lists after a completed run indicate unmatched traffic:
+        a send nobody received, or a posted receive nobody sent to -- the
+        runtime verifier turns these into P2P001/P2P002 findings.
+        """
+        if self.cluster is None:
+            return {"sends": [], "recvs": []}
+        sends = [
+            (rec.src, rec.dst, rec.tag, rec.nbytes)
+            for pending in self.cluster._unexpected
+            for rec in pending
+        ]
+        recvs = [
+            (rank, rrec.source, rrec.tag)
+            for rank, posted in enumerate(self.cluster._posted)
+            for rrec in posted
+        ]
+        return {"sends": sends, "recvs": recvs}
 
     def busiest_pair(self) -> Optional[tuple]:
         """((src, dst), bytes) of the heaviest pair, or None."""

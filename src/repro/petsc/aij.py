@@ -113,7 +113,7 @@ class AIJMat(Operator):
             raise PETScError("matrix already assembled")
         comm = self.comm
         self.backend = backend
-        base = _tag_window(comm)
+        base = _tag_window(comm, op="aij_assembly")
 
         # exchange stash sizes (entries destined for each rank)
         out_counts = np.zeros(comm.size)

@@ -21,7 +21,7 @@ measures end to end.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Tuple
+from typing import Generator, List, Optional
 
 import numpy as np
 

@@ -207,7 +207,7 @@ class VecScatter:
                             mode: str = "insert") -> Generator:
         comm = self.comm
         cost = comm.cost
-        base = _tag_window(comm)
+        base = _tag_window(comm, op="vecscatter")
         requests: list[Request] = []
         recv_bufs: list[tuple[int, np.ndarray, np.ndarray]] = []
         for peer, offs in self.recv_map.items():

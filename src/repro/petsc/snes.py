@@ -17,11 +17,10 @@ top of KSP; this module completes that stack.  ``NewtonKrylov`` solves
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator, List, Optional
+from typing import Callable, Generator, List
 
-import numpy as np
 
-from repro.petsc.ksp import GMRES, SolveResult
+from repro.petsc.ksp import GMRES
 from repro.petsc.mat import Operator
 from repro.petsc.vec import PETScError, Vec
 

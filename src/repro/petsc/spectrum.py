@@ -9,7 +9,7 @@ smoother recipe (only the upper part of the spectrum must be damped).
 
 from __future__ import annotations
 
-from typing import Generator, Tuple
+from typing import Generator
 
 import numpy as np
 

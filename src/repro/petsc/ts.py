@@ -13,7 +13,7 @@ state between steps.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List, Optional
+from typing import Callable, Generator, Optional
 
 from repro.petsc.snes import NewtonKrylov, SNESResult
 from repro.petsc.vec import PETScError, Vec

@@ -305,7 +305,7 @@ class Vec:
         from repro.mpi.collectives.basic import _tag_window
         from repro.mpi.request import Request
 
-        base = _tag_window(comm)
+        base = _tag_window(comm, op="vec_assembly")
         requests = []
         incoming = []
         for peer in range(comm.size):

@@ -20,7 +20,7 @@ clusters and are heterogeneous.
 from __future__ import annotations
 
 import random
-from typing import Generator, List
+from typing import Generator, List, Optional
 
 from repro.simtime.engine import Delay, Engine
 from repro.simtime.resources import Port
@@ -93,7 +93,8 @@ class NetworkModel:
         return self.cost.transfer_time(nbytes)
 
     def transfer(self, src: int, dst: int, nbytes: int,
-                 latency: Optional[float] = None) -> Generator:
+                 latency: Optional[float] = None,
+                 tag: int = -1, sig: Optional[int] = None) -> Generator:
         """Yieldable: move ``nbytes`` from ``src`` to ``dst``.
 
         Holds the sender's send port and the receiver's receive port for the
@@ -103,6 +104,10 @@ class NetworkModel:
         cost the optimised Alltoallw avoids by exempting the zero bin).
         ``latency`` overrides the per-message alpha (e.g. the cheaper
         initiation cost of a raw RDMA operation).
+
+        ``tag`` and ``sig`` (the message tag and the flattened datatype
+        signature hash) are pure metadata: the wire ignores them, but
+        wrappers such as :class:`repro.mpi.trace.MessageTrace` record them.
         """
         if not (0 <= src < self.nranks and 0 <= dst < self.nranks):
             raise ValueError(f"rank out of range: {src}->{dst}")

@@ -1,0 +1,199 @@
+"""Project lint (repro.analyze.lint) and the ``python -m repro.analyze``
+entry point."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import lint_paths, lint_source
+from repro.analyze.__main__ import main as analyze_main
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def rules_of(source):
+    report = lint_source(textwrap.dedent(source))
+    return sorted(f.rule for f in report)
+
+
+# -- individual rules ---------------------------------------------------------
+
+def test_lnt001_bare_except():
+    assert rules_of("""
+        try:
+            pass
+        except:
+            pass
+    """) == ["LNT001"]
+    assert rules_of("""
+        try:
+            pass
+        except ValueError:
+            pass
+    """) == []
+
+
+def test_lnt002_rescan_in_loop():
+    assert rules_of("""
+        def f(dt, items):
+            for x in items:
+                blocks = dt.flatten()
+    """) == ["LNT002"]
+    # rebinding the receiver inside the loop is fine: not loop-invariant
+    assert rules_of("""
+        def f(make, items):
+            for x in items:
+                dt = make(x)
+                blocks = dt.flatten()
+    """) == []
+    # hoisted out of the loop is fine
+    assert rules_of("""
+        def f(dt, items):
+            blocks = dt.flatten()
+            for x in items:
+                use(blocks)
+    """) == []
+
+
+def test_lnt003_dropped_generator():
+    assert rules_of("""
+        def main(comm):
+            comm.send(x, 1)
+    """) == ["LNT003"]
+    assert rules_of("""
+        def main(comm):
+            yield from comm.send(x, 1)
+    """) == []
+    # assigning the generator is not flagged (it may be driven later)
+    assert rules_of("""
+        def main(comm):
+            g = comm.send(x, 1)
+            yield from g
+    """) == []
+    # barrier/wait are blocking generators too
+    assert rules_of("""
+        def main(comm, req):
+            comm.barrier()
+            req.wait()
+    """) == ["LNT003", "LNT003"]
+
+
+def test_lnt004_mutable_default():
+    assert rules_of("""
+        def f(x, acc=[]):
+            pass
+    """) == ["LNT004"]
+    assert rules_of("""
+        def f(x, *, acc={}):
+            pass
+    """) == ["LNT004"]
+    assert rules_of("""
+        def f(x, acc=None):
+            pass
+    """) == []
+
+
+def test_lnt005_time_sleep():
+    assert rules_of("""
+        import time
+        def f():
+            time.sleep(1)
+    """) == ["LNT005"]
+
+
+def test_lint_syntax_error_propagates():
+    with pytest.raises(SyntaxError):
+        lint_source("def broken(:\n")
+
+
+# -- the repo lints clean -----------------------------------------------------
+
+def test_src_tree_lints_clean():
+    report = lint_paths([REPO / "src"])
+    assert report.ok, report.render()
+
+
+def test_all_examples_lint_clean():
+    examples = sorted((REPO / "examples").glob("*.py"))
+    assert examples, "examples/ directory is missing"
+    report = lint_paths(examples)
+    assert report.ok, report.render()
+
+
+def test_tests_tree_lints_clean():
+    report = lint_paths([REPO / "tests"])
+    assert report.ok, report.render()
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def test_cli_lint_clean_file_exits_zero(tmp_path, capsys):
+    f = tmp_path / "clean.py"
+    f.write_text("def f(comm):\n    yield from comm.barrier()\n")
+    assert analyze_main([str(f)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_cli_lint_broken_file_exits_one(tmp_path, capsys):
+    f = tmp_path / "broken.py"
+    f.write_text(
+        "def f(comm):\n"
+        "    try:\n"
+        "        comm.barrier()\n"
+        "    except:\n"
+        "        pass\n"
+    )
+    assert analyze_main(["--lint", str(f)]) == 1
+    out = capsys.readouterr().out
+    assert "LNT001" in out and "LNT003" in out
+
+
+def test_cli_missing_path_exits_two(tmp_path):
+    assert analyze_main([str(tmp_path / "nope.txt")]) == 2
+
+
+def test_cli_run_mode_reports_runtime_findings(tmp_path, capsys):
+    script = tmp_path / "deadlock.py"
+    script.write_text(textwrap.dedent("""
+        import numpy as np
+        from repro.mpi import Cluster, MPIConfig
+        from repro.util import CostModel
+
+        def main(comm):
+            buf = np.zeros(4, dtype=np.float64)
+            other = 1 - comm.rank
+            yield from comm.recv(buf, other)
+            yield from comm.send(buf, other)
+
+        cluster = Cluster(2, config=MPIConfig.optimized(),
+                          cost=CostModel(cpu_noise=0.0), heterogeneous=False)
+        try:
+            cluster.run(main)
+        except Exception:
+            pass
+    """))
+    assert analyze_main(["--run", str(script)]) == 1
+    out = capsys.readouterr().out
+    assert "DLK001" in out
+
+
+def test_cli_run_mode_clean_script(tmp_path, capsys):
+    script = tmp_path / "clean_run.py"
+    script.write_text(textwrap.dedent("""
+        import numpy as np
+        from repro.mpi import Cluster, MPIConfig
+        from repro.util import CostModel
+
+        def main(comm):
+            other = 1 - comm.rank
+            out = np.full(8, float(comm.rank))
+            buf = np.zeros(8)
+            yield from comm.sendrecv(out, other, buf, other)
+            yield from comm.barrier()
+
+        cluster = Cluster(2, config=MPIConfig.optimized(),
+                          cost=CostModel(cpu_noise=0.0), heterogeneous=False)
+        cluster.run(main)
+    """))
+    assert analyze_main(["--run", str(script)]) == 0

@@ -1,0 +1,270 @@
+"""Runtime verification: the four deliberately-broken fixtures plus clean
+runs.  Each fixture asserts that its finding fires exactly once."""
+
+import gc
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.analyze import RuntimeVerifier
+from repro.mpi import Cluster, MPIConfig
+from repro.mpi.trace import MessageTrace
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def make_cluster(n, config=None, **kw):
+    kw.setdefault("cost", QUIET)
+    kw.setdefault("heterogeneous", False)
+    return Cluster(n, config=config or MPIConfig.optimized(), **kw)
+
+
+def run_verified(n, fn, *args, config=None):
+    cluster = make_cluster(n, config=config)
+    verifier = RuntimeVerifier.attach(cluster)
+    results = verifier.run(fn, *args)
+    return verifier, results
+
+
+# -- fixture 1: send/receive signature mismatch (SIG001) ----------------------
+
+def broken_signature_mismatch(comm):
+    """Rank 0 sends doubles; rank 1 receives into int32 -- a signature
+    mismatch that real MPI silently reinterprets into garbage."""
+    if comm.rank == 0:
+        yield from comm.send(np.arange(4, dtype=np.float64), 1)
+    else:
+        buf = np.zeros(8, dtype=np.int32)
+        yield from comm.recv(buf, 0)
+
+
+def test_fixture_signature_mismatch_fires_sig001_once():
+    verifier, results = run_verified(2, broken_signature_mismatch)
+    sig = verifier.report.by_rule("SIG001")
+    assert len(sig) == 1
+    assert "not a prefix" in sig[0].message
+    assert results is not None  # bytes still flow; only the types disagree
+
+
+# -- fixture 2: wait-for cycle deadlock (DLK001) ------------------------------
+
+def broken_deadlock_cycle(comm):
+    """Both ranks recv before they send: the classic head-to-head
+    blocking-receive deadlock."""
+    buf = np.zeros(4, dtype=np.float64)
+    other = 1 - comm.rank
+    yield from comm.recv(buf, other)
+    yield from comm.send(buf, other)
+
+
+def test_fixture_deadlock_cycle_fires_dlk001_once():
+    verifier, results = run_verified(2, broken_deadlock_cycle)
+    assert results is None
+    assert verifier.deadlock is not None
+    dlk = verifier.report.by_rule("DLK001")
+    assert len(dlk) == 1
+    assert "0 -> 1 -> 0" in dlk[0].message
+    # the two never-satisfied receives are also reported
+    assert len(verifier.report.by_rule("P2P002")) == 2
+
+
+def test_rendezvous_sends_appear_in_wait_graph():
+    """Head-to-head blocking *sends* above the eager threshold also
+    deadlock; the rendezvous sends supply the wait-for edges."""
+    config = MPIConfig.optimized()
+
+    def main(comm):
+        big = np.zeros(config.eager_threshold // 8 + 16, dtype=np.float64)
+        other = 1 - comm.rank
+        yield from comm.send(big, other)
+        yield from comm.recv(big, other)
+
+    verifier, results = run_verified(2, main, config=config)
+    assert results is None
+    assert len(verifier.report.by_rule("DLK001")) == 1
+    assert "rendezvous" in verifier.report.by_rule("DLK001")[0].message
+
+
+# -- fixture 3: leaked request (REQ001) ---------------------------------------
+
+def broken_leaked_request(comm):
+    """Rank 0 posts a nonblocking send and never completes it."""
+    if comm.rank == 0:
+        req = yield from comm.isend(np.arange(4, dtype=np.float64), 1)
+        assert not req.waited
+        yield from comm.barrier()
+    else:
+        buf = np.zeros(4, dtype=np.float64)
+        req = comm.irecv(buf, 0)
+        yield from req.wait()
+        yield from comm.barrier()
+
+
+def test_fixture_leaked_request_fires_req001_once():
+    verifier, results = run_verified(2, broken_leaked_request)
+    assert results is not None  # the run itself completes fine
+    req = verifier.report.by_rule("REQ001")
+    assert len(req) == 1
+    assert "rank 0" in req[0].message and "send" in req[0].message
+    # nothing else is wrong with this program
+    assert len(verifier.report.by_rule("DLK001")) == 0
+    assert len(verifier.report.by_rule("P2P001")) == 0
+
+
+def test_request_gc_warns_resourcewarning():
+    """Dropping an uncompleted Request raises ResourceWarning at GC time
+    (satellite: request lifecycle warning)."""
+    from repro.mpi.request import Request
+    from repro.simtime.engine import Engine
+
+    engine = Engine()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        req = Request(engine.future("orphan"), "send")
+        del req
+        gc.collect()
+    assert any(issubclass(w.category, ResourceWarning) for w in caught)
+
+    # a waited request is silent
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fut = engine.future("done")
+        fut.set_result(None)
+        req = Request(fut, "send")
+        done, _ = req.test()
+        assert done and req.waited
+        del req
+        gc.collect()
+    assert not any(issubclass(w.category, ResourceWarning) for w in caught)
+
+
+def test_request_test_polls_without_blocking():
+    from repro.mpi.request import Request
+    from repro.simtime.engine import Engine
+
+    engine = Engine()
+    fut = engine.future("poll")
+    req = Request(fut, "recv")
+    assert req.test() == (False, None)
+    assert not req.waited
+    fut.set_result("payload")
+    assert req.test() == (True, "payload")
+    assert req.waited
+
+
+# -- fixture 4: mismatched collective (COL001) --------------------------------
+
+def broken_mismatched_collective(comm):
+    """Rank 0 enters a bcast while rank 1 enters a barrier: a collective
+    call-order mismatch across the communicator."""
+    buf = np.zeros(1, dtype=np.float64)
+    if comm.rank == 0:
+        yield from comm.bcast(buf, root=0)
+    else:
+        yield from comm.barrier()
+
+
+def test_fixture_mismatched_collective_fires_col001_once():
+    verifier, results = run_verified(2, broken_mismatched_collective)
+    col = verifier.report.by_rule("COL001")
+    assert len(col) == 1
+    assert "bcast" in col[0].message and "barrier" in col[0].message
+
+
+def test_mismatched_collective_root_fires_col002():
+    """Same collective, different root arguments."""
+    def main(comm):
+        buf = np.zeros(1, dtype=np.float64)
+        yield from comm.bcast(buf, root=comm.rank)
+
+    verifier, results = run_verified(2, main)
+    col = verifier.report.by_rule("COL002")
+    assert len(col) == 1
+    assert len(verifier.report.by_rule("COL001")) == 0
+
+
+# -- clean programs stay clean ------------------------------------------------
+
+def clean_exchange(comm):
+    other = 1 - comm.rank
+    out = np.full(16, float(comm.rank), dtype=np.float64)
+    buf = np.zeros(16, dtype=np.float64)
+    yield from comm.sendrecv(out, other, buf, other)
+    total = yield from comm.allreduce(float(buf[0]))
+    yield from comm.barrier()
+    return total
+
+
+def test_clean_program_produces_no_actionable_findings():
+    verifier, results = run_verified(2, clean_exchange)
+    assert results == [1.0, 1.0]
+    assert verifier.report.ok, verifier.report.render()
+
+
+def test_zero_byte_audit_is_informational():
+    """Typed zero-byte sends are counted (ZBS001) but never fail a run."""
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send(np.zeros(0, dtype=np.float64), 1)
+        else:
+            yield from comm.recv(np.zeros(0, dtype=np.float64), 0)
+
+    verifier, results = run_verified(2, main)
+    assert results is not None
+    zbs = verifier.report.by_rule("ZBS001")
+    assert len(zbs) == 1 and zbs[0].severity == "info"
+    assert verifier.report.ok  # info-only report is still ok
+
+
+def test_finalize_is_idempotent():
+    verifier, _results = run_verified(2, broken_deadlock_cycle)
+    n = len(verifier.report)
+    verifier.finalize()
+    verifier.finalize()
+    assert len(verifier.report) == n
+
+
+# -- trace satellite: signature metadata and unmatched() ----------------------
+
+def test_trace_records_signature_hash_and_unmatched():
+    from repro.simtime.engine import SimulationDeadlock
+
+    cluster = make_cluster(2)
+    trace = MessageTrace.attach(cluster)
+
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send(np.arange(4, dtype=np.float64), 1, tag=3)
+            yield from comm.send(np.arange(4, dtype=np.float64), 1, tag=9)
+        else:
+            buf = np.zeros(4, dtype=np.float64)
+            yield from comm.recv(buf, 0, tag=3)
+            # tag=9 is never received -> unmatched send
+
+    # the orphaned delivery process blocks the engine at end of run
+    with pytest.raises(SimulationDeadlock):
+        cluster.run(main)
+    sigs = trace.signature_counts()
+    assert len(sigs) == 1  # both sends share one typemap signature
+    assert sum(sigs.values()) >= 1
+    pending = trace.unmatched()
+    assert pending["sends"] == [(0, 1, 9, 32)]
+    assert pending["recvs"] == []
+
+
+def test_trace_unmatched_reports_orphan_recv():
+    cluster = make_cluster(2)
+    trace = MessageTrace.attach(cluster)
+
+    def main(comm):
+        if comm.rank == 1:
+            comm.irecv(np.zeros(4, dtype=np.float64), 0, tag=5)
+        yield from comm.barrier()
+
+    with pytest.warns(ResourceWarning):
+        cluster.run(main)
+        gc.collect()
+    pending = trace.unmatched()
+    assert pending["recvs"] == [(1, 0, 5)]

@@ -1,7 +1,6 @@
 """Tests for the 3-D Laplacian multigrid application driver (small grids;
 the full 100^3 runs live in benchmarks/test_fig17_multigrid.py)."""
 
-import numpy as np
 import pytest
 
 from repro.apps.laplacian3d import laplacian3d_benchmark, laplacian3d_solve

@@ -26,8 +26,9 @@ COST = CostModel(cpu_noise=0.0)
 
 def test_contiguous_type_has_no_processing_cost():
     dt = Contiguous(100_000, DOUBLE)
+    blocks = dt.flatten()
     for cls in (SingleContextEngine, DualContextEngine):
-        stages = cls(dt.flatten(), COST).plan()
+        stages = cls(blocks, COST).plan()
         assert len(stages) == -(-dt.size // COST.pipeline_chunk)
         assert all(s.cpu_s == 0.0 for s in stages)
         assert all(s.dense for s in stages)

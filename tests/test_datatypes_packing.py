@@ -11,7 +11,6 @@ from repro.datatypes import (
     Contiguous,
     DatatypeError,
     Indexed,
-    IndexedBlock,
     Struct,
     Subarray,
     TypedBuffer,

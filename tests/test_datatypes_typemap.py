@@ -1,6 +1,5 @@
 """Unit tests for datatype constructors and flattening."""
 
-import numpy as np
 import pytest
 
 from repro.datatypes import (

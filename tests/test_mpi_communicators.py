@@ -1,7 +1,6 @@
 """Tests for communicator dup/split (groups and matching contexts)."""
 
 import numpy as np
-import pytest
 
 from repro.mpi import Cluster, MPIConfig
 from repro.util import CostModel

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datatypes import DOUBLE, TypedBuffer, Vector
+from repro.datatypes import DOUBLE, Vector
 from repro.mpi import Cluster, MPIConfig, MPIError
 from repro.mpi.rma import Win
 from repro.util import CostModel

@@ -2,7 +2,6 @@
 (the interlaced-field and ghost-face layouts of paper section 2.1)."""
 
 import numpy as np
-import pytest
 
 from repro.datatypes import DOUBLE, INT, Resized, Struct, Subarray, TypedBuffer
 from repro.mpi import Cluster, MPIConfig

@@ -1,7 +1,6 @@
 """Tests for the message-trace instrumentation."""
 
 import numpy as np
-import pytest
 
 from repro.datatypes import DOUBLE, TypedBuffer
 from repro.mpi import Cluster, MPIConfig

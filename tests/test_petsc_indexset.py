@@ -1,6 +1,5 @@
 """Tests for index sets."""
 
-import numpy as np
 import pytest
 
 from repro.petsc import BlockIS, GeneralIS, PETScError, StrideIS

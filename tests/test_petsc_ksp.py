@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.mpi import Cluster, MPIConfig
-from repro.petsc import CG, DMDA, Laplacian, PETScError, Richardson, Vec
+from repro.petsc import CG, DMDA, Laplacian, PETScError, Richardson
 from repro.util import CostModel
 
 QUIET = CostModel(cpu_noise=0.0)
