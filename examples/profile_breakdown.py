@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Fig. 13-style pack/compute/wire/wait attribution with ``repro.prof``.
+
+Attaches a :class:`repro.prof.Profiler` to a nonuniform Allgatherv (one
+rank contributes a far larger block -- the paper's section 3.2 scenario)
+under both MPI configurations and prints:
+
+- the per-op breakdown table: elapsed simulated time decomposed into pack
+  (datatype processing), compute, wire, and wait-for-peers shares,
+- the wait-share skew across ranks (who idles behind whom),
+- a selection of the Prometheus-style metrics the run emitted,
+
+then dumps a Chrome trace (``chrome://tracing`` / Perfetto) of the
+optimised run.
+
+Run:  python examples/profile_breakdown.py [trace-out.json]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.mpi import Cluster, MPIConfig
+from repro.prof import Profiler, render_breakdown, write_chrome_trace
+from repro.prof.export import wait_for_peers_report
+from repro.util import CostModel
+
+NRANKS = 8
+SMALL, LARGE = 64, 16384          # doubles; rank 3 is the volume outlier
+
+COUNTS = [SMALL] * NRANKS
+COUNTS[3] = LARGE
+DISPLS = np.concatenate(([0], np.cumsum(COUNTS[:-1]))).astype(int).tolist()
+TOTAL = int(np.sum(COUNTS))
+
+
+def main(comm):
+    send = np.full(COUNTS[comm.rank], float(comm.rank + 1))
+    recv = np.zeros(TOTAL)
+    yield from comm.allgatherv(send, recv, COUNTS, DISPLS)
+    return recv
+
+
+def profile(config):
+    cluster = Cluster(NRANKS, config=config, cost=CostModel(cpu_noise=0.0),
+                      heterogeneous=False)
+    prof = Profiler.attach(cluster, label=config.name)
+    cluster.run(main)
+    return cluster, prof
+
+
+if __name__ == "__main__":
+    profs = []
+    for config in (MPIConfig.baseline(), MPIConfig.optimized()):
+        cluster, prof = profile(config)
+        profs.append(prof)
+        rows = prof.breakdown("collective")
+        print(f"== {config.name}: allgatherv, one {LARGE}-double outlier "
+              f"among {NRANKS} ranks ==")
+        print(render_breakdown(rows))
+        skew = wait_for_peers_report(rows)["allgatherv"]
+        print(f"wait share across ranks: min {skew['min_wait_share']:.0%}  "
+              f"max {skew['max_wait_share']:.0%}  "
+              f"mean {skew['mean_wait_share']:.0%}")
+        snap = prof.snapshot()
+        algo = {s.attrs.get("algorithm")
+                for s in prof.tracer.by_name("allgatherv")}
+        print(f"algorithm selected: {sorted(a for a in algo if a)}")
+        for name in ("repro_transfer_messages_total",
+                     "repro_transfer_bytes_total",
+                     "repro_outlier_checks_total",
+                     "repro_outlier_detected_total"):
+            if name in snap:
+                print(f"  {name} = {snap[name]}")
+        print(f"elapsed simulated time: {cluster.elapsed * 1e3:.3f} ms")
+        print()
+
+    print("The ring serialises the big block behind N-1 sequential hops, so")
+    print("most ranks spend the collective waiting; the adaptive selection")
+    print("detects the outlier (Floyd-Rivest k-select) and switches to the")
+    print("binomial-tree algorithm, cutting the wait share and the elapsed")
+    print("time.")
+
+    if len(sys.argv) > 1:
+        path = sys.argv[1]
+        write_chrome_trace(path, profs)
+        print(f"\nChrome trace (both runs) written to {path}")

@@ -5,10 +5,22 @@ Usage::
     python -m repro.bench                 # all figures (slow: several min)
     python -m repro.bench fig12 fig14a    # a selection
     python -m repro.bench --quick         # reduced sweeps
+    python -m repro.bench --quick --profile --emit-json out.json \
+        --trace-out trace.json            # + repro.prof instrumentation
+
+With ``--profile`` every cluster built by the figure sweeps carries a
+:class:`repro.prof.Profiler`; the run then prints the Fig. 13-style
+pack/compute/wire/wait breakdown and (with ``--emit-json``) writes a
+``repro-bench/1`` JSON artifact embedding the figures, the metric
+snapshots per figure row, and the whole-session profile report.
+``--trace-out`` additionally dumps a Chrome trace-event file viewable in
+``chrome://tracing`` / Perfetto.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
 
@@ -17,30 +29,112 @@ from repro.bench import figures, print_figure
 ALL = ["fig12", "fig13", "fig14a", "fig14b", "fig15", "fig16", "fig17"]
 
 
+def _parse(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's figures.",
+    )
+    parser.add_argument("figures", nargs="*", metavar="FIG",
+                        help=f"figures to run (default: all of {ALL})")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweeps for smoke runs")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach the repro.prof session profiler")
+    parser.add_argument("--emit-json", metavar="PATH", default=None,
+                        help="write figures (+ profile report) as JSON")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Chrome trace-event file "
+                             "(requires --profile)")
+    return parser.parse_args(argv)
+
+
+def _figure_kwargs(name: str, quick: bool) -> dict:
+    kwargs = {}
+    if quick and name == "fig15":
+        kwargs["procs"] = (2, 4, 8, 16, 32)
+    if quick and name == "fig16":
+        kwargs["procs"] = (2, 4, 8, 16)
+    if quick and name == "fig17":
+        kwargs["procs"] = (4, 8)
+        kwargs["grid"] = (48, 48, 48)
+    return kwargs
+
+
 def main(argv: list[str]) -> int:
-    quick = "--quick" in argv
-    wanted = [a for a in argv if not a.startswith("-")] or ALL
+    args = _parse(argv)
+    wanted = args.figures or ALL
     unknown = [w for w in wanted if w not in ALL]
     if unknown:
         print(f"unknown figure(s): {unknown}; choose from {ALL}")
         return 2
+    if args.trace_out and not args.profile:
+        print("--trace-out requires --profile")
+        return 2
+
+    if args.profile:
+        from repro.prof import session
+
+        session.enable()
+
+    produced = []
     t0 = time.time()
-    for name in wanted:
-        if name == "fig13":
-            for fig in figures.fig13():
-                print_figure(fig)
+    try:
+        for name in wanted:
+            if name == "fig13":
+                for fig in figures.fig13():
+                    produced.append(fig)
+                    print_figure(fig)
+                    print()
+                continue
+            fig = getattr(figures, name)(**_figure_kwargs(name, args.quick))
+            produced.append(fig)
+            print_figure(fig)
+            print()
+
+        profile_report = None
+        if args.profile:
+            from repro.prof import render_breakdown, session
+
+            profile_report = session.report()
+            rows = session.breakdown_rows()
+            if rows:
+                print("== profile: pack/compute/wire/wait breakdown ==")
+                print(render_breakdown(rows))
+                ok = profile_report["breakdown_valid"]
+                print(f"breakdown consistency (sums within 1%): "
+                      f"{'ok' if ok else 'FAILED'}")
                 print()
-            continue
-        kwargs = {}
-        if quick and name == "fig15":
-            kwargs["procs"] = (2, 4, 8, 16, 32)
-        if quick and name == "fig16":
-            kwargs["procs"] = (2, 4, 8, 16)
-        if quick and name == "fig17":
-            kwargs["procs"] = (4, 8)
-            kwargs["grid"] = (48, 48, 48)
-        print_figure(getattr(figures, name)(**kwargs))
-        print()
+            if args.trace_out:
+                session.write_chrome_trace(args.trace_out)
+                print(f"chrome trace written to {args.trace_out}")
+
+        if args.emit_json:
+            doc = {
+                "schema": "repro-bench/1",
+                "quick": args.quick,
+                "figures": {
+                    f.name: {
+                        "title": f.title,
+                        "columns": f.columns,
+                        "rows": f.rows,
+                        "notes": f.notes,
+                    }
+                    for f in produced
+                },
+            }
+            if profile_report is not None:
+                profile_report = dict(profile_report)
+                profile_report.pop("prometheus", None)  # bulky text form
+                doc["profile"] = profile_report
+            with open(args.emit_json, "w") as fh:
+                json.dump(doc, fh, indent=1, default=str)
+            print(f"JSON report written to {args.emit_json}")
+    finally:
+        if args.profile:
+            from repro.prof import session
+
+            session.disable()
+
     print(f"wall time: {time.time() - t0:.0f} s")
     return 0
 

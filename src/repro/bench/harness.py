@@ -23,6 +23,12 @@ class FigureData:
                 f"expected {len(self.columns)}"
             )
         self.rows.append(list(values))
+        # when a profiling session is active, attribute the metric delta
+        # since the previous row to this row (repro.prof.session no-ops
+        # in a couple of attribute reads otherwise)
+        from repro.prof import session
+
+        session.notify_row(self.name, list(values))
 
     def column(self, name: str) -> List[Any]:
         i = self.columns.index(name)

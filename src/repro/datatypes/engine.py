@@ -54,6 +54,9 @@ class PackStage:
     lookahead_s: float
     search_s: float
     pack_s: float
+    #: blocks walked to recover the lost pack context (0 when no re-search
+    #: happened; the profiler's re-search depth histogram reads this)
+    search_blocks: int = 0
 
     @property
     def cpu_s(self) -> float:
@@ -100,6 +103,7 @@ class _EngineBase:
             look_blocks = min(cost.lookahead_depth, blocks.num_blocks - first)
             lookahead_s = look_blocks * cost.lookahead_block
             dense = self.classify(first)
+            search_blocks = 0
             if dense:
                 # writev-style direct send: per-block iovec setup, no copy
                 search_s = 0.0
@@ -110,10 +114,12 @@ class _EngineBase:
                     # context was advanced by the look-ahead; walk the
                     # datatype from block 0 back to the pack position
                     search_s = first * cost.search_block
+                    search_blocks = first
                 else:
                     search_s = 0.0
                 pack_s = chunk * cost.copy_byte + nblocks * cost.block_overhead
-            stages.append(PackStage(pos, chunk, dense, lookahead_s, search_s, pack_s))
+            stages.append(PackStage(pos, chunk, dense, lookahead_s, search_s,
+                                    pack_s, search_blocks))
             pos += chunk
         return stages
 

@@ -106,6 +106,24 @@ class TypedBuffer:
     def is_contiguous(self) -> bool:
         return self._blocks is not None and self._blocks.num_blocks == 1
 
+    @property
+    def num_blocks(self) -> int:
+        """Contiguous blocks in the flattened layout (0 for zero-count)."""
+        return 0 if self._blocks is None else self._blocks.num_blocks
+
+    def layout_summary(self) -> dict:
+        """Compact layout description (used as profiling span attributes)."""
+        if self._blocks is None:
+            return {"nbytes": 0, "blocks": 0, "mean_block": 0.0,
+                    "contiguous": True}
+        nb = self._blocks.num_blocks
+        return {
+            "nbytes": self._blocks.size,
+            "blocks": nb,
+            "mean_block": self._blocks.size / nb,
+            "contiguous": nb == 1,
+        }
+
     def signature(self) -> TypeSignature:
         """The MPI type signature of the whole buffer (count copies)."""
         if self.count == 0:

@@ -118,28 +118,35 @@ def allgatherv(
     recvbuffer, datatype, counts, displs = _normalize(
         comm, sendbuffer, recvbuffer, counts, displs, datatype
     )
-    yield from _copy_own(comm, sendbuffer, recvbuffer, datatype, counts, displs)
-    if comm.size == 1:
-        return
+    prof = comm.cluster.profiler
+    with prof.span("collective", "allgatherv", comm.grank,
+                   total_bytes=sum(counts) * datatype.size) as sp:
+        yield from _copy_own(comm, sendbuffer, recvbuffer, datatype, counts, displs)
+        if comm.size == 1:
+            sp.attrs["algorithm"] = "trivial"
+            return
 
-    if algorithm is None:
-        total_bytes = sum(counts) * datatype.size
-        if (
-            comm.config.adaptive_allgatherv
-            and total_bytes >= comm.config.allgatherv_long_threshold
-        ):
-            # charge the linear-time Floyd-Rivest detection pass
-            yield from comm.cpu(outlier.detection_cpu_seconds(comm.size), "compute")
-        algorithm = _select_algorithm(comm, counts, datatype)
+        if algorithm is None:
+            total_bytes = sum(counts) * datatype.size
+            if (
+                comm.config.adaptive_allgatherv
+                and total_bytes >= comm.config.allgatherv_long_threshold
+            ):
+                # charge the linear-time Floyd-Rivest detection pass
+                yield from comm.cpu(outlier.detection_cpu_seconds(comm.size),
+                                    "compute")
+            algorithm = _select_algorithm(comm, counts, datatype)
+        sp.attrs["algorithm"] = algorithm
 
-    if algorithm == "ring":
-        yield from _ring(comm, recvbuffer, datatype, counts, displs)
-    elif algorithm == "recursive_doubling":
-        yield from _recursive_doubling(comm, recvbuffer, datatype, counts, displs)
-    elif algorithm == "dissemination":
-        yield from _dissemination(comm, recvbuffer, datatype, counts, displs)
-    else:
-        raise MPIError(f"unknown allgatherv algorithm {algorithm!r}")
+        if algorithm == "ring":
+            yield from _ring(comm, recvbuffer, datatype, counts, displs)
+        elif algorithm == "recursive_doubling":
+            yield from _recursive_doubling(comm, recvbuffer, datatype, counts,
+                                           displs)
+        elif algorithm == "dissemination":
+            yield from _dissemination(comm, recvbuffer, datatype, counts, displs)
+        else:
+            raise MPIError(f"unknown allgatherv algorithm {algorithm!r}")
 
 
 def _select_algorithm(comm: Comm, counts, datatype) -> str:
@@ -151,8 +158,24 @@ def _select_algorithm(comm: Comm, counts, datatype) -> str:
         return tree  # short-message path, both configurations
     if comm.config.adaptive_allgatherv:
         # section 4.2.1: linear-time outlier detection over the volume set
+        # (selection logic is also unit-tested with bare comm stand-ins,
+        # so fall back to the null profiler when no cluster is attached)
+        from repro.prof import NULL_PROFILER
+
+        cluster = getattr(comm, "cluster", None)
+        prof = cluster.profiler if cluster is not None else NULL_PROFILER
         volumes = [c * datatype.size for c in counts]
-        if outlier.has_outliers(volumes, comm.cost):
+        if prof.enabled:
+            stats = outlier.SelectStats()
+            found = outlier.has_outliers(volumes, comm.cost, stats=stats)
+            prof.count("repro_outlier_checks_total")
+            prof.count("repro_kselect_calls_total", stats.calls)
+            prof.count("repro_kselect_pivot_passes_total", stats.pivot_passes)
+            if found:
+                prof.count("repro_outlier_detected_total")
+        else:
+            found = outlier.has_outliers(volumes, comm.cost)
+        if found:
             return tree
     return "ring"
 
@@ -160,6 +183,7 @@ def _select_algorithm(comm: Comm, counts, datatype) -> str:
 def _ring(comm, recvbuffer, datatype, counts, displs) -> Generator:
     base = _tag_window(comm, op="allgatherv", detail=tuple(int(c) for c in counts))
     n, rank = comm.size, comm.rank
+    prof = comm.cluster.profiler
     right = (rank + 1) % n
     left = (rank - 1) % n
     for step in range(n - 1):
@@ -167,7 +191,9 @@ def _ring(comm, recvbuffer, datatype, counts, displs) -> Generator:
         recv_block = (rank - step - 1) % n
         stb = _block_tb(recvbuffer, datatype, counts, displs, send_block)
         rtb = _block_tb(recvbuffer, datatype, counts, displs, recv_block)
-        yield from _exchange(comm, stb, right, rtb, left, base + step)
+        with prof.span("phase", "ring_hop", comm.grank, step=step,
+                       send_block=send_block, recv_block=recv_block):
+            yield from _exchange(comm, stb, right, rtb, left, base + step)
 
 
 def _recursive_doubling(comm, recvbuffer, datatype, counts, displs) -> Generator:
@@ -185,7 +211,9 @@ def _recursive_doubling(comm, recvbuffer, datatype, counts, displs) -> Generator
         recv_blocks = range(partner_group, partner_group + mask)
         stb = _blocks_tb(recvbuffer, datatype, counts, displs, send_blocks)
         rtb = _blocks_tb(recvbuffer, datatype, counts, displs, recv_blocks)
-        yield from _exchange(comm, stb, partner, rtb, partner, base + phase)
+        with comm.cluster.profiler.span("phase", "rd_step", comm.grank,
+                                        phase=phase, partner=partner):
+            yield from _exchange(comm, stb, partner, rtb, partner, base + phase)
         mask <<= 1
         phase += 1
 
@@ -203,7 +231,10 @@ def _dissemination(comm, recvbuffer, datatype, counts, displs) -> Generator:
         recv_blocks = [(src - j) % n for j in range(nblocks)]
         stb = _blocks_tb(recvbuffer, datatype, counts, displs, send_blocks)
         rtb = _blocks_tb(recvbuffer, datatype, counts, displs, recv_blocks)
-        yield from _exchange(comm, stb, dst, rtb, src, base + phase)
+        with comm.cluster.profiler.span("phase", "dissemination_phase",
+                                        comm.grank, phase=phase,
+                                        dst=dst, src=src):
+            yield from _exchange(comm, stb, dst, rtb, src, base + phase)
         dist <<= 1
         phase += 1
 

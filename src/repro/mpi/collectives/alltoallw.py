@@ -55,12 +55,15 @@ def alltoallw(
         )
     if algorithm is None:
         algorithm = "binned" if comm.config.binned_alltoallw else "round_robin"
-    if algorithm == "round_robin":
-        yield from _round_robin(comm, sendspecs, recvspecs)
-    elif algorithm == "binned":
-        yield from _binned(comm, sendspecs, recvspecs)
-    else:
-        raise MPIError(f"unknown alltoallw algorithm {algorithm!r}")
+    prof = comm.cluster.profiler
+    with prof.span("collective", "alltoallw", comm.grank, algorithm=algorithm,
+                   send_bytes=sum(_spec_nbytes(s) for s in sendspecs)):
+        if algorithm == "round_robin":
+            yield from _round_robin(comm, sendspecs, recvspecs)
+        elif algorithm == "binned":
+            yield from _binned(comm, sendspecs, recvspecs)
+        else:
+            raise MPIError(f"unknown alltoallw algorithm {algorithm!r}")
 
 
 def _local_copy(comm: Comm, sendspecs, recvspecs) -> Generator:
@@ -78,6 +81,7 @@ def _round_robin(comm: Comm, sendspecs, recvspecs) -> Generator:
     """Baseline: message to every rank, zero-byte included, in rank order."""
     base = _tag_window(comm, op="alltoallw")
     n, rank = comm.size, comm.rank
+    prof = comm.cluster.profiler
     yield from _local_copy(comm, sendspecs, recvspecs)
     requests: list[Request] = []
     # post all receives up front (MPICH2 posts irecvs first), including
@@ -99,12 +103,18 @@ def _round_robin(comm: Comm, sendspecs, recvspecs) -> Generator:
         else:
             requests.append((yield from comm.isend(_zero_buffer(), dst, base)))
     yield from Request.waitall(requests)
+    if prof.enabled:
+        # baseline sends a (possibly zero-byte) message to every peer
+        zeros = sum(1 for s in sendspecs if _spec_nbytes(s) == 0) - \
+            (1 if _spec_nbytes(sendspecs[rank]) == 0 else 0)
+        prof.observe("repro_alltoallw_zero_bin_size", zeros)
 
 
 def _binned(comm: Comm, sendspecs, recvspecs) -> Generator:
     """Optimised: zero bin exempted; small bin processed before large."""
     base = _tag_window(comm, op="alltoallw")
     n, rank = comm.size, comm.rank
+    prof = comm.cluster.profiler
     threshold = comm.cost.small_message_threshold
     yield from _local_copy(comm, sendspecs, recvspecs)
     requests: list[Request] = []
@@ -115,14 +125,27 @@ def _binned(comm: Comm, sendspecs, recvspecs) -> Generator:
             requests.append(comm.irecv(rtb, src, base))
     small: list[int] = []
     large: list[int] = []
+    zeros = 0
     for i in range(1, n):
         dst = (rank + i) % n
         nbytes = _spec_nbytes(sendspecs[dst])
         if nbytes == 0:
+            zeros += 1
             continue  # the zero bin: completely exempted
         (small if nbytes < threshold else large).append(dst)
-    for dst in small + large:
-        requests.append((yield from comm.isend(sendspecs[dst], dst, base)))
+    if prof.enabled:
+        prof.count("repro_zero_byte_elided_total", zeros)
+        prof.observe("repro_alltoallw_zero_bin_size", zeros)
+        prof.observe("repro_alltoallw_small_bin_size", len(small))
+        prof.observe("repro_alltoallw_large_bin_size", len(large))
+    if small:
+        with prof.span("phase", "small_bin", comm.grank, peers=len(small)):
+            for dst in small:
+                requests.append((yield from comm.isend(sendspecs[dst], dst, base)))
+    if large:
+        with prof.span("phase", "large_bin", comm.grank, peers=len(large)):
+            for dst in large:
+                requests.append((yield from comm.isend(sendspecs[dst], dst, base)))
     yield from Request.waitall(requests)
 
 

@@ -42,15 +42,16 @@ def barrier(comm: Comm) -> Generator:
     n, rank = comm.size, comm.rank
     if n == 1:
         return
-    k = 0
-    dist = 1
-    while dist < n:
-        dst = (rank + dist) % n
-        src = (rank - dist) % n
-        comm.isend_obj(None, dst, base + k, nbytes=0)
-        yield from comm.recv_obj(src, base + k)
-        dist <<= 1
-        k += 1
+    with comm.cluster.profiler.span("collective", "barrier", comm.grank):
+        k = 0
+        dist = 1
+        while dist < n:
+            dst = (rank + dist) % n
+            src = (rank - dist) % n
+            comm.isend_obj(None, dst, base + k, nbytes=0)
+            yield from comm.recv_obj(src, base + k)
+            dist <<= 1
+            k += 1
 
 
 def bcast(comm: Comm, value: Any, root: int = 0, nbytes: int = _CTRL_BYTES) -> Generator:
@@ -61,22 +62,24 @@ def bcast(comm: Comm, value: Any, root: int = 0, nbytes: int = _CTRL_BYTES) -> G
         raise ValueError(f"invalid root {root}")
     if n == 1:
         return value
-    rel = (rank - root) % n
-    # walk up: receive from the parent that owns my lowest set bit
-    mask = 1
-    while mask < n:
-        if rel & mask:
-            parent = (rank - mask) % n
-            value = yield from comm.recv_obj(parent, base)
-            break
-        mask <<= 1
-    # walk down: forward to children at decreasing bit distances
-    mask >>= 1
-    while mask > 0:
-        if rel + mask < n:
-            child = (rank + mask) % n
-            comm.isend_obj(value, child, base, nbytes=nbytes)
+    with comm.cluster.profiler.span("collective", "bcast", comm.grank,
+                                    root=root):
+        rel = (rank - root) % n
+        # walk up: receive from the parent that owns my lowest set bit
+        mask = 1
+        while mask < n:
+            if rel & mask:
+                parent = (rank - mask) % n
+                value = yield from comm.recv_obj(parent, base)
+                break
+            mask <<= 1
+        # walk down: forward to children at decreasing bit distances
         mask >>= 1
+        while mask > 0:
+            if rel + mask < n:
+                child = (rank + mask) % n
+                comm.isend_obj(value, child, base, nbytes=nbytes)
+            mask >>= 1
     return value
 
 
@@ -96,40 +99,42 @@ def allreduce(
     n, rank = comm.size, comm.rank
     if n == 1:
         return value
-    p2 = 1
-    while p2 * 2 <= n:
-        p2 *= 2
-    extra = n - p2
-    acc = value
-    # fold the surplus ranks into the power-of-two core
-    if rank < 2 * extra:
-        if rank % 2 == 0:
-            comm.isend_obj(acc, rank + 1, base, nbytes=nbytes)
-            newrank = -1  # idle during the core exchange
+    with comm.cluster.profiler.span("collective", "allreduce", comm.grank):
+        p2 = 1
+        while p2 * 2 <= n:
+            p2 *= 2
+        extra = n - p2
+        acc = value
+        # fold the surplus ranks into the power-of-two core
+        if rank < 2 * extra:
+            if rank % 2 == 0:
+                comm.isend_obj(acc, rank + 1, base, nbytes=nbytes)
+                newrank = -1  # idle during the core exchange
+            else:
+                other = yield from comm.recv_obj(rank - 1, base)
+                acc = op(acc, other)
+                newrank = rank // 2
         else:
-            other = yield from comm.recv_obj(rank - 1, base)
-            acc = op(acc, other)
-            newrank = rank // 2
-    else:
-        newrank = rank - extra
-    # recursive doubling among p2 effective ranks
-    if newrank >= 0:
-        mask = 1
-        k = 1
-        while mask < p2:
-            partner_new = newrank ^ mask
-            partner = partner_new * 2 + 1 if partner_new < extra else partner_new + extra
-            comm.isend_obj(acc, partner, base + k, nbytes=nbytes)
-            other = yield from comm.recv_obj(partner, base + k)
-            acc = op(acc, other)
-            mask <<= 1
-            k += 1
-    # hand the result back to the folded-out ranks
-    if rank < 2 * extra:
-        if rank % 2 == 0:
-            acc = yield from comm.recv_obj(rank + 1, base + 60)
-        else:
-            comm.isend_obj(acc, rank - 1, base + 60, nbytes=nbytes)
+            newrank = rank - extra
+        # recursive doubling among p2 effective ranks
+        if newrank >= 0:
+            mask = 1
+            k = 1
+            while mask < p2:
+                partner_new = newrank ^ mask
+                partner = (partner_new * 2 + 1 if partner_new < extra
+                           else partner_new + extra)
+                comm.isend_obj(acc, partner, base + k, nbytes=nbytes)
+                other = yield from comm.recv_obj(partner, base + k)
+                acc = op(acc, other)
+                mask <<= 1
+                k += 1
+        # hand the result back to the folded-out ranks
+        if rank < 2 * extra:
+            if rank % 2 == 0:
+                acc = yield from comm.recv_obj(rank + 1, base + 60)
+            else:
+                comm.isend_obj(acc, rank - 1, base + 60, nbytes=nbytes)
     return acc
 
 
@@ -139,11 +144,13 @@ def gather_obj(comm: Comm, value: Any, root: int = 0,
     base = _tag_window(comm, op="gather_obj", detail=root)
     n, rank = comm.size, comm.rank
     if rank == root:
-        out: List[Any] = [None] * n
-        out[root] = value
-        for src in range(n):
-            if src != root:
-                out[src] = yield from comm.recv_obj(src, base)
+        with comm.cluster.profiler.span("collective", "gather_obj",
+                                        comm.grank, root=root):
+            out: List[Any] = [None] * n
+            out[root] = value
+            for src in range(n):
+                if src != root:
+                    out[src] = yield from comm.recv_obj(src, base)
         return out
     comm.isend_obj(value, root, base, nbytes=nbytes)
     return None

@@ -43,34 +43,38 @@ def gatherv(
         raise MPIError(f"invalid root {root}")
     send = np.asarray(sendbuf)
     base = _tag_window(comm, op="gatherv", detail=root)
-    if comm.rank != root:
-        if send.size:  # zero contributions send nothing (root posts no recv)
-            req = yield from comm.isend(send, root, base)
-            yield from req.wait()
-        return None
-    if counts is None or recvbuf is None:
-        raise MPIError("root must supply counts and recvbuf")
-    counts = [int(c) for c in counts]
-    if len(counts) != comm.size:
-        raise MPIError(f"counts has {len(counts)} entries for {comm.size} ranks")
-    recv = np.asarray(recvbuf)
-    dt = _dtype_of(recv, datatype)
-    if displs is None:
-        displs = np.concatenate(([0], np.cumsum(counts[:-1]))).tolist()
-    requests = []
-    for src in range(comm.size):
-        if src == root or counts[src] == 0:
-            continue
-        tb = TypedBuffer(recv, dt, counts[src],
-                         offset_bytes=int(displs[src]) * dt.extent)
-        requests.append(comm.irecv(tb, src, base))
-    # own contribution
-    if counts[root]:
-        own = TypedBuffer(recv, dt, counts[root],
-                          offset_bytes=int(displs[root]) * dt.extent)
-        own.unpack(TypedBuffer(send, dt, counts[root]).pack())
-        yield from comm.cpu(counts[root] * dt.size * comm.cost.copy_byte, "pack")
-    yield from Request.waitall(requests)
+    with comm.cluster.profiler.span("collective", "gatherv", comm.grank,
+                                    root=root):
+        if comm.rank != root:
+            if send.size:  # zero contributions send nothing (no root recv)
+                req = yield from comm.isend(send, root, base)
+                yield from req.wait()
+            return None
+        if counts is None or recvbuf is None:
+            raise MPIError("root must supply counts and recvbuf")
+        counts = [int(c) for c in counts]
+        if len(counts) != comm.size:
+            raise MPIError(
+                f"counts has {len(counts)} entries for {comm.size} ranks")
+        recv = np.asarray(recvbuf)
+        dt = _dtype_of(recv, datatype)
+        if displs is None:
+            displs = np.concatenate(([0], np.cumsum(counts[:-1]))).tolist()
+        requests = []
+        for src in range(comm.size):
+            if src == root or counts[src] == 0:
+                continue
+            tb = TypedBuffer(recv, dt, counts[src],
+                             offset_bytes=int(displs[src]) * dt.extent)
+            requests.append(comm.irecv(tb, src, base))
+        # own contribution
+        if counts[root]:
+            own = TypedBuffer(recv, dt, counts[root],
+                              offset_bytes=int(displs[root]) * dt.extent)
+            own.unpack(TypedBuffer(send, dt, counts[root]).pack())
+            yield from comm.cpu(counts[root] * dt.size * comm.cost.copy_byte,
+                                "pack")
+        yield from Request.waitall(requests)
     return recv
 
 
@@ -90,32 +94,36 @@ def scatterv(
     if recvbuf is None:
         raise MPIError("every rank must supply recvbuf")
     recv = np.asarray(recvbuf)
-    if comm.rank != root:
-        if recv.size:  # zero pieces are never sent by the root
-            yield from comm.recv(recv, root, base)
-        return recv
-    if counts is None or sendbuf is None:
-        raise MPIError("root must supply counts and sendbuf")
-    counts = [int(c) for c in counts]
-    if len(counts) != comm.size:
-        raise MPIError(f"counts has {len(counts)} entries for {comm.size} ranks")
-    send = np.asarray(sendbuf)
-    dt = _dtype_of(send, datatype)
-    if displs is None:
-        displs = np.concatenate(([0], np.cumsum(counts[:-1]))).tolist()
-    requests = []
-    for dst in range(comm.size):
-        if dst == root or counts[dst] == 0:
-            continue
-        tb = TypedBuffer(send, dt, counts[dst],
-                         offset_bytes=int(displs[dst]) * dt.extent)
-        requests.append((yield from comm.isend(tb, dst, base)))
-    if counts[root]:
-        own = TypedBuffer(send, dt, counts[root],
-                          offset_bytes=int(displs[root]) * dt.extent)
-        TypedBuffer(recv, dt, counts[root]).unpack(own.pack())
-        yield from comm.cpu(counts[root] * dt.size * comm.cost.copy_byte, "pack")
-    yield from Request.waitall(requests)
+    with comm.cluster.profiler.span("collective", "scatterv", comm.grank,
+                                    root=root):
+        if comm.rank != root:
+            if recv.size:  # zero pieces are never sent by the root
+                yield from comm.recv(recv, root, base)
+            return recv
+        if counts is None or sendbuf is None:
+            raise MPIError("root must supply counts and sendbuf")
+        counts = [int(c) for c in counts]
+        if len(counts) != comm.size:
+            raise MPIError(
+                f"counts has {len(counts)} entries for {comm.size} ranks")
+        send = np.asarray(sendbuf)
+        dt = _dtype_of(send, datatype)
+        if displs is None:
+            displs = np.concatenate(([0], np.cumsum(counts[:-1]))).tolist()
+        requests = []
+        for dst in range(comm.size):
+            if dst == root or counts[dst] == 0:
+                continue
+            tb = TypedBuffer(send, dt, counts[dst],
+                             offset_bytes=int(displs[dst]) * dt.extent)
+            requests.append((yield from comm.isend(tb, dst, base)))
+        if counts[root]:
+            own = TypedBuffer(send, dt, counts[root],
+                              offset_bytes=int(displs[root]) * dt.extent)
+            TypedBuffer(recv, dt, counts[root]).unpack(own.pack())
+            yield from comm.cpu(counts[root] * dt.size * comm.cost.copy_byte,
+                                "pack")
+        yield from Request.waitall(requests)
     return recv
 
 
@@ -158,18 +166,20 @@ def alltoall(
         return TypedBuffer(arr, dt, count, offset_bytes=idx * count * dt.extent)
 
     # local block
-    block(recv, rank).unpack(block(send, rank).pack())
-    yield from comm.cpu(count * dt.size * comm.cost.copy_byte, "pack")
-    pow2 = n & (n - 1) == 0
-    for k in range(1, n):
-        if pow2:
-            peer = rank ^ k
-            sdst = rdst = peer
-        else:
-            sdst = (rank + k) % n
-            rdst = (rank - k) % n
-        rreq = comm.irecv(block(recv, rdst), rdst, base + k)
-        sreq = yield from comm.isend(block(send, sdst), sdst, base + k)
-        yield from rreq.wait()
-        yield from sreq.wait()
+    with comm.cluster.profiler.span("collective", "alltoall", comm.grank,
+                                    count=count):
+        block(recv, rank).unpack(block(send, rank).pack())
+        yield from comm.cpu(count * dt.size * comm.cost.copy_byte, "pack")
+        pow2 = n & (n - 1) == 0
+        for k in range(1, n):
+            if pow2:
+                peer = rank ^ k
+                sdst = rdst = peer
+            else:
+                sdst = (rank + k) % n
+                rdst = (rank - k) % n
+            rreq = comm.irecv(block(recv, rdst), rdst, base + k)
+            sreq = yield from comm.isend(block(send, sdst), sdst, base + k)
+            yield from rreq.wait()
+            yield from sreq.wait()
     return recv

@@ -45,21 +45,23 @@ def reduce(comm: Comm, sendbuf, recvbuf=None, op: Callable = np.add,
     n, rank = comm.size, comm.rank
     rel = (rank - root) % n
     acc = send.copy()
-    mask = 1
-    while mask < n:
-        if rel & mask:
-            parent = (rank - mask) % n
-            req = yield from comm.isend(acc, parent, base)
-            yield from req.wait()
-            acc = None
-            break
-        # receive from the child at distance `mask`, if it exists
-        if rel + mask < n:
-            child = (rank + mask) % n
-            incoming = np.empty_like(send)
-            yield from comm.recv(incoming, child, base)
-            acc = op(acc, incoming)
-        mask <<= 1
+    with comm.cluster.profiler.span("collective", "reduce", comm.grank,
+                                    root=root, nbytes=send.nbytes):
+        mask = 1
+        while mask < n:
+            if rel & mask:
+                parent = (rank - mask) % n
+                req = yield from comm.isend(acc, parent, base)
+                yield from req.wait()
+                acc = None
+                break
+            # receive from the child at distance `mask`, if it exists
+            if rel + mask < n:
+                child = (rank + mask) % n
+                incoming = np.empty_like(send)
+                yield from comm.recv(incoming, child, base)
+                acc = op(acc, incoming)
+            mask <<= 1
     if rank != root:
         return None
     if recvbuf is None:
@@ -77,44 +79,46 @@ def allreduce_array(comm: Comm, sendbuf, recvbuf=None,
     n, rank = comm.size, comm.rank
     acc = send.copy()
     if n > 1:
-        p2 = 1
-        while p2 * 2 <= n:
-            p2 *= 2
-        extra = n - p2
-        if rank < 2 * extra:
-            if rank % 2 == 0:
-                req = yield from comm.isend(acc, rank + 1, base)
-                yield from req.wait()
-                newrank = -1
+        with comm.cluster.profiler.span("collective", "allreduce_array",
+                                        comm.grank, nbytes=send.nbytes):
+            p2 = 1
+            while p2 * 2 <= n:
+                p2 *= 2
+            extra = n - p2
+            if rank < 2 * extra:
+                if rank % 2 == 0:
+                    req = yield from comm.isend(acc, rank + 1, base)
+                    yield from req.wait()
+                    newrank = -1
+                else:
+                    incoming = np.empty_like(acc)
+                    yield from comm.recv(incoming, rank - 1, base)
+                    acc = op(acc, incoming)
+                    newrank = rank // 2
             else:
-                incoming = np.empty_like(acc)
-                yield from comm.recv(incoming, rank - 1, base)
-                acc = op(acc, incoming)
-                newrank = rank // 2
-        else:
-            newrank = rank - extra
-        if newrank >= 0:
-            mask = 1
-            k = 1
-            while mask < p2:
-                partner_new = newrank ^ mask
-                partner = (partner_new * 2 + 1 if partner_new < extra
-                           else partner_new + extra)
-                incoming = np.empty_like(acc)
-                rreq = comm.irecv(incoming, partner, base + k)
-                sreq = yield from comm.isend(acc, partner, base + k)
-                yield from rreq.wait()
-                yield from sreq.wait()
-                acc = op(acc, incoming)
-                mask <<= 1
-                k += 1
-        if rank < 2 * extra:
-            if rank % 2 == 0:
-                acc = np.empty_like(send)
-                yield from comm.recv(acc, rank + 1, base + 60)
-            else:
-                req = yield from comm.isend(acc, rank - 1, base + 60)
-                yield from req.wait()
+                newrank = rank - extra
+            if newrank >= 0:
+                mask = 1
+                k = 1
+                while mask < p2:
+                    partner_new = newrank ^ mask
+                    partner = (partner_new * 2 + 1 if partner_new < extra
+                               else partner_new + extra)
+                    incoming = np.empty_like(acc)
+                    rreq = comm.irecv(incoming, partner, base + k)
+                    sreq = yield from comm.isend(acc, partner, base + k)
+                    yield from rreq.wait()
+                    yield from sreq.wait()
+                    acc = op(acc, incoming)
+                    mask <<= 1
+                    k += 1
+            if rank < 2 * extra:
+                if rank % 2 == 0:
+                    acc = np.empty_like(send)
+                    yield from comm.recv(acc, rank + 1, base + 60)
+                else:
+                    req = yield from comm.isend(acc, rank - 1, base + 60)
+                    yield from req.wait()
     if recvbuf is None:
         return acc
     out = _check_buf(recvbuf)
@@ -134,21 +138,24 @@ def scan(comm: Comm, sendbuf, recvbuf=None, op: Callable = np.add) -> Generator:
     n, rank = comm.size, comm.rank
     prefix = send.copy()
     total = send.copy()
-    dist = 1
-    phase = 0
-    while dist < n:
-        reqs = []
-        if rank + dist < n:
-            reqs.append((yield from comm.isend(total, rank + dist, base + phase)))
-        if rank - dist >= 0:
-            incoming = np.empty_like(send)
-            yield from comm.recv(incoming, rank - dist, base + phase)
-            prefix = op(incoming, prefix)
-            total = op(incoming, total)
-        for req in reqs:
-            yield from req.wait()
-        dist <<= 1
-        phase += 1
+    with comm.cluster.profiler.span("collective", "scan", comm.grank,
+                                    nbytes=send.nbytes):
+        dist = 1
+        phase = 0
+        while dist < n:
+            reqs = []
+            if rank + dist < n:
+                reqs.append((yield from comm.isend(total, rank + dist,
+                                                   base + phase)))
+            if rank - dist >= 0:
+                incoming = np.empty_like(send)
+                yield from comm.recv(incoming, rank - dist, base + phase)
+                prefix = op(incoming, prefix)
+                total = op(incoming, total)
+            for req in reqs:
+                yield from req.wait()
+            dist <<= 1
+            phase += 1
     if recvbuf is None:
         return prefix
     out = _check_buf(recvbuf)

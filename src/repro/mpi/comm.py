@@ -35,6 +35,8 @@ from repro.datatypes.packing import TypedBuffer
 from repro.datatypes.typemap import BYTE, Datatype, primitive_for, sig_crc
 from repro.mpi.config import MPIConfig
 from repro.mpi.request import Request, Status
+from repro.prof import NULL_PROFILER
+from repro.prof.session import attach_if_enabled
 from repro.simtime.engine import Delay, Engine, SimFuture
 from repro.simtime.network import NetworkModel
 from repro.util.costmodel import CostLedger, CostModel
@@ -164,7 +166,17 @@ class Cluster:
         self._posted: List[List[_RecvRecord]] = [[] for _ in range(nranks)]
         self._unexpected: List[List[_SendRecord]] = [[] for _ in range(nranks)]
         self._observers: List[Any] = []
+        #: the instrumentation sink; NULL_PROFILER until a
+        #: :class:`repro.prof.Profiler` is attached (no-op, near-zero cost)
+        self.profiler = NULL_PROFILER
+        # wire transfers fan out through the observer machinery ("transfer")
+        self.net.add_transfer_listener(self._on_transfer)
         self._comms = [Comm(self, r) for r in range(nranks)]
+        # a process-wide profiling session (repro.prof.session) auto-attaches
+        attach_if_enabled(self)
+
+    def _on_transfer(self, event: Any) -> None:
+        self._notify("transfer", event)
 
     # -- instrumentation -----------------------------------------------------
 
@@ -181,10 +193,14 @@ class Cluster:
         ``truncation``      ``(rec, rrec)`` -- a bind failed: message too large
         ``request``         ``(grank, req)`` -- a :class:`Request` was handed out
         ``collective``      ``(grank, ctx, seq, op, detail)`` -- collective entry
+        ``transfer``        ``(event)`` -- a wire transfer completed
+                            (:class:`repro.simtime.network.TransferEvent`)
         ==================  =====================================================
 
-        Used by :class:`repro.analyze.runtime.RuntimeVerifier` and
-        :class:`repro.mpi.trace.MessageTrace`.
+        Used by :class:`repro.analyze.runtime.RuntimeVerifier`,
+        :class:`repro.mpi.trace.MessageTrace` and
+        :class:`repro.prof.Profiler` -- all ordinary subscribers; nothing
+        monkey-patches ``net.transfer`` anymore.
         """
         self._observers.append(observer)
 
@@ -350,7 +366,8 @@ class Comm:
         """Charge ``seconds`` of nominal CPU work on this rank."""
         scaled = self.net.cpu_seconds(self.grank, seconds)
         self.ledger.charge(category, scaled)
-        yield Delay(scaled)
+        with self.cluster.profiler.span("cpu", category, self.grank):
+            yield Delay(scaled)
 
     def compute(self, seconds: float) -> Generator:
         yield from self.cpu(seconds, "compute")
@@ -375,31 +392,57 @@ class Comm:
             raise MPIError(f"invalid destination rank {dest}")
         tb = as_typed(buffer, datatype, count, offset_bytes)
         nbytes = tb.nbytes
+        prof = self.cluster.profiler
 
-        # charge datatype processing
-        if nbytes > 0 and not tb.is_contiguous():
-            engine = make_engine(tb.blocks, self.cost, self.config.dual_context_engine)
-            look = search = pack = 0.0
-            for stage in engine.plan():
-                look += stage.lookahead_s
-                search += stage.search_s
-                pack += stage.pack_s
-            for category, seconds in (("lookahead", look), ("search", search), ("pack", pack)):
-                if seconds:
-                    yield from self.cpu(seconds, category)
+        with prof.span("p2p", "isend", self.grank,
+                       dest=self._to_global(dest), tag=tag, nbytes=nbytes):
+            if prof.enabled:
+                prof.count("repro_send_messages_total")
+                prof.count("repro_send_bytes_total", nbytes)
+                if nbytes == 0:
+                    prof.count("repro_zero_byte_sends_total")
+            # charge datatype processing
+            if nbytes > 0 and not tb.is_contiguous():
+                engine = make_engine(tb.blocks, self.cost,
+                                     self.config.dual_context_engine)
+                stages = engine.plan()
+                look = search = pack = 0.0
+                for stage in stages:
+                    look += stage.lookahead_s
+                    search += stage.search_s
+                    pack += stage.pack_s
+                if prof.enabled:
+                    self._count_pack_stages(prof, stages, nbytes)
+                for category, seconds in (("lookahead", look),
+                                          ("search", search), ("pack", pack)):
+                    if seconds:
+                        yield from self.cpu(seconds, category)
 
-        data = tb.pack()
-        rec = _SendRecord(self.engine, self.grank, self._to_global(dest), tag,
-                          self.ctx, data, nbytes, is_obj=False,
-                          sig=tb.signature())
-        self.cluster._post_send(rec)
-        self.engine.spawn(self._deliver(rec), f"deliver {self.rank}->{dest}")
-        if nbytes <= self.config.eager_threshold:
-            # eager: the payload is buffered; the send is already complete
-            rec.sent_fut.set_result(None)
-        req = Request(rec.sent_fut, "send")
-        self.cluster._notify("request", self.grank, req)
-        return req
+            data = tb.pack()
+            rec = _SendRecord(self.engine, self.grank, self._to_global(dest),
+                              tag, self.ctx, data, nbytes, is_obj=False,
+                              sig=tb.signature())
+            self.cluster._post_send(rec)
+            self.engine.spawn(self._deliver(rec), f"deliver {self.rank}->{dest}")
+            if nbytes <= self.config.eager_threshold:
+                # eager: the payload is buffered; the send is already complete
+                rec.sent_fut.set_result(None)
+            req = Request(rec.sent_fut, "send", profiler=prof, rank=self.grank)
+            self.cluster._notify("request", self.grank, req)
+            return req
+
+    def _count_pack_stages(self, prof, stages, nbytes: int) -> None:
+        """Pack-engine metrics for one noncontiguous send plan."""
+        dense = sum(1 for s in stages if s.dense)
+        prof.count("repro_pack_stages_total", len(stages))
+        prof.count("repro_lookahead_dense_total", dense)
+        prof.count("repro_lookahead_sparse_total", len(stages) - dense)
+        prof.count("repro_pack_bytes_total", nbytes)
+        researches = [s for s in stages if s.search_s > 0]
+        if researches:
+            prof.count("repro_research_total", len(researches))
+            for s in researches:
+                prof.observe("repro_research_depth_blocks", s.search_blocks)
 
     def send(self, buffer: Any, dest: int, tag: int = 0,
              datatype: Optional[Datatype] = None, count: Optional[int] = None,
@@ -427,7 +470,8 @@ class Comm:
         rrec = _RecvRecord(gsource, tag, self.ctx, tb, fut, is_obj=False,
                            comm=self, sig=tb.signature())
         self.cluster._post_recv(self.grank, rrec)
-        req = Request(fut, "recv")
+        req = Request(fut, "recv", profiler=self.cluster.profiler,
+                      rank=self.grank)
         self.cluster._notify("request", self.grank, req)
         return req
 
@@ -515,9 +559,14 @@ class Comm:
     def _deliver(self, rec: _SendRecord) -> Generator:
         """Background process that moves one message across the wire."""
         cost = self.cost
+        prof = self.cluster.profiler
         rendezvous = rec.nbytes > self.config.eager_threshold
         if rendezvous:
+            t_posted = self.engine.now
             yield rec.match_fut  # wire starts only once the receive is posted
+            if prof.enabled:
+                prof.observe("repro_rendezvous_stall_seconds",
+                             self.engine.now - t_posted)
 
         # wire time: contiguous payloads go as one transfer; packed
         # noncontiguous payloads flow in pipeline chunks
@@ -547,14 +596,20 @@ class Comm:
             rrec.future.set_result(rec.data)
             return
 
-        # receiver-side unpack: charged on the receiver's CPU
+        # receiver-side unpack: charged on the receiver's CPU.  The span
+        # lives on the receiver's "io" lane -- several deliveries may
+        # overlap the receiver's own flow (and each other)
         tb = rrec.tb
         if rec.nbytes > 0 and not tb.is_contiguous():
             first, last = tb.blocks.blocks_in_range(0, rec.nbytes)
             seconds = unpack_stage_cost(rec.nbytes, last - first, cost, contiguous=False)
             scaled = self.net.cpu_seconds(rec.dst, seconds)
             self.cluster.ledgers[rec.dst].charge("pack", scaled)
-            yield Delay(scaled)
+            if prof.enabled:
+                prof.count("repro_unpack_bytes_total", rec.nbytes)
+            with prof.span("cpu", "unpack", rec.dst, lane="io",
+                           src=rec.src, nbytes=rec.nbytes):
+                yield Delay(scaled)
 
         # functional delivery
         if rec.nbytes == tb.nbytes:

@@ -20,41 +20,46 @@ large volumes.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.util.costmodel import CostModel
-from repro.util.kselect import k_select
+from repro.util.kselect import SelectStats, k_select  # noqa: F401 (re-export)
 
 #: nominal CPU cost per set element of the linear-time detection pass
 DETECT_COST_PER_ELEMENT = 5e-9
 
 
-def outlier_ratio(volumes: Sequence[int], outlier_fraction: float) -> float:
+def outlier_ratio(volumes: Sequence[int], outlier_fraction: float,
+                  stats: Optional[SelectStats] = None) -> float:
     """Eq. 1: max volume over the bulk's upper-edge volume.
 
     Returns ``inf`` when the bulk is all zeros but the maximum is not
     (e.g. one rank sends data and everyone else sends nothing).
+    ``stats`` accumulates Floyd-Rivest call/pivot-pass counts for the
+    profiler.
     """
     n = len(volumes)
     if n == 0:
         raise ValueError("empty volume set")
     if not 0.0 < outlier_fraction < 1.0:
         raise ValueError(f"outlier_fraction must be in (0, 1), got {outlier_fraction}")
-    vmax = k_select(volumes, n)
+    vmax = k_select(volumes, n, stats=stats)
     if n == 1:
         return 1.0
     # the bulk's upper edge excludes at least one candidate outlier, and at
     # most an OUTLIER_FRACT fraction of the set
     n_outliers = max(1, math.floor(n * outlier_fraction))
-    bulk_edge = k_select(volumes, n - n_outliers)
+    bulk_edge = k_select(volumes, n - n_outliers, stats=stats)
     if bulk_edge <= 0:
         return math.inf if vmax > 0 else 1.0
     return vmax / bulk_edge
 
 
-def has_outliers(volumes: Sequence[int], cost: CostModel) -> bool:
+def has_outliers(volumes: Sequence[int], cost: CostModel,
+                 stats: Optional[SelectStats] = None) -> bool:
     """Decision used by the adaptive Allgatherv."""
-    return outlier_ratio(volumes, cost.outlier_fraction) > cost.outlier_ratio_threshold
+    ratio = outlier_ratio(volumes, cost.outlier_fraction, stats=stats)
+    return ratio > cost.outlier_ratio_threshold
 
 
 def detection_cpu_seconds(n: int) -> float:

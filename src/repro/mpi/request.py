@@ -36,12 +36,16 @@ class Request:
     :class:`repro.analyze.runtime.RuntimeVerifier` is attached.
     """
 
-    __slots__ = ("_future", "kind", "_waited", "__weakref__")
+    __slots__ = ("_future", "kind", "_waited", "_profiler", "_rank", "__weakref__")
 
-    def __init__(self, future: SimFuture, kind: str):
+    def __init__(self, future: SimFuture, kind: str,
+                 profiler: Any = None, rank: int = -1):
         self._future = future
         self.kind = kind
         self._waited = False
+        #: optional repro.prof profiler (NULL_PROFILER or None when unprofiled)
+        self._profiler = profiler
+        self._rank = rank
 
     @property
     def done(self) -> bool:
@@ -54,7 +58,15 @@ class Request:
 
     def wait(self) -> Generator:
         self._waited = True
-        result = yield self._future
+        prof = self._profiler
+        if prof is not None and prof.enabled and not self._future.done:
+            t0 = self._future.engine.now
+            with prof.span("wait", "wait_" + self.kind, self._rank):
+                result = yield self._future
+            prof.observe("repro_request_wait_seconds",
+                         self._future.engine.now - t0)
+        else:
+            result = yield self._future
         return result
 
     def test(self) -> tuple[bool, Any]:

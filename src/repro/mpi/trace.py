@@ -50,20 +50,25 @@ class MessageTrace:
 
     @classmethod
     def attach(cls, cluster) -> "MessageTrace":
-        """Instrument ``cluster`` (call before ``cluster.run``)."""
+        """Instrument ``cluster`` (call before ``cluster.run``).
+
+        The trace subscribes to the cluster's observer API
+        (:meth:`repro.mpi.comm.Cluster.add_observer`) and records each
+        ``transfer`` event.  It never wraps or replaces
+        ``cluster.net.transfer``, so any number of traces, verifiers and
+        profilers can be attached to the same cluster without interfering.
+        """
         trace = cls(cluster.nranks)
         trace.cluster = cluster
-        original = cluster.net.transfer
-
-        def traced_transfer(src, dst, nbytes, latency=None, tag=-1, sig=None):
-            t_sent = cluster.engine.now
-            yield from original(src, dst, nbytes, latency, tag=tag, sig=sig)
-            trace.records.append(
-                TraceRecord(t_sent, cluster.engine.now, src, dst, tag, nbytes, sig)
-            )
-
-        cluster.net.transfer = traced_transfer
+        cluster.add_observer(trace)
         return trace
+
+    def on_transfer(self, event) -> None:
+        """Observer hook: record one completed wire transfer."""
+        self.records.append(
+            TraceRecord(event.t_start, event.t_end, event.src, event.dst,
+                        event.tag, event.nbytes, event.sig)
+        )
 
     # -- queries -------------------------------------------------------------
 
@@ -139,16 +144,33 @@ class MessageTrace:
         flat = int(np.argmax(m))
         return divmod(flat, self.nranks), int(m.reshape(-1)[flat])
 
-    def timeline(self, bins: int = 10) -> np.ndarray:
-        """Bytes on the wire per time bin across the run."""
-        if not self.records:
-            return np.zeros(bins, dtype=np.int64)
-        t_end = max(r.t_arrived for r in self.records) or 1.0
+    def timeline(self, bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        """Bytes entering the wire per time bin across the run.
+
+        Returns ``(edges, hist)`` where ``edges`` has ``bins + 1`` bin
+        boundaries in simulated seconds and ``hist[i]`` is the total bytes
+        of messages whose send time falls in ``[edges[i], edges[i+1])``
+        (the last bin is closed on the right).  An empty trace -- or one
+        whose messages all left at the same instant -- yields edges spanning
+        ``[0, max(t, 1)]`` so the histogram is always well defined.
+        """
+        if bins < 1:
+            raise ValueError(f"bins must be >= 1, got {bins}")
         hist = np.zeros(bins, dtype=np.int64)
+        if not self.records:
+            edges = np.linspace(0.0, 1.0, bins + 1)
+            return edges, hist
+        t_end = max(r.t_arrived for r in self.records)
+        if t_end <= 0.0:
+            # zero-duration run (e.g. only local copies at t=0)
+            edges = np.linspace(0.0, 1.0, bins + 1)
+            hist[0] = self.total_bytes()
+            return edges, hist
+        edges = np.linspace(0.0, t_end, bins + 1)
         for r in self.records:
             b = min(bins - 1, int(r.t_sent / t_end * bins))
             hist[b] += r.nbytes
-        return hist
+        return edges, hist
 
     def summary(self) -> str:
         """A human-readable digest."""

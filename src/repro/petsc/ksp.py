@@ -17,10 +17,20 @@ import numpy as np
 
 from repro.petsc.mat import Operator
 from repro.petsc.vec import PETScError, Vec
+from repro.prof import NULL_PROFILER
 
 #: a preconditioner is a generator function pc(residual_vec, z_vec) that
 #: leaves M^{-1} r in z
 Preconditioner = Callable[[Vec, Vec], Generator]
+
+
+def _profiler_of(vec: Vec):
+    """(profiler, global rank) for the cluster behind ``vec`` (null-safe)."""
+    comm = getattr(vec, "comm", None)
+    cluster = getattr(comm, "cluster", None)
+    if cluster is None:
+        return NULL_PROFILER, -1
+    return cluster.profiler, comm.grank
 
 
 @dataclass
@@ -79,29 +89,35 @@ def CG(
     p.copy_from(z)
     rz = yield from r.dot(z)
 
+    prof, grank = _profiler_of(b)
     for it in range(1, maxits + 1):
-        yield from op.mult(p, Ap)
-        pAp = yield from p.dot(Ap)
-        if pAp <= 0:
-            raise PETScError(
-                f"operator not positive definite: p.Ap = {pAp} at iteration {it}"
-            )
-        alpha = rz / pAp
-        yield from x.axpy(alpha, p)
-        yield from r.axpy(-alpha, Ap)
-        rnorm = yield from r.norm()
-        norms.append(rnorm)
-        if rnorm <= target:
-            return SolveResult(True, it, norms)
-        if pc is None:
-            z.copy_from(r)
-        else:
-            yield from z.set(0.0)
-            yield from pc(r, z)
-        rz_new = yield from r.dot(z)
-        beta = rz_new / rz
-        rz = rz_new
-        yield from p.aypx(beta, z)
+        with prof.span("solver", "ksp_iteration", grank, method="cg", it=it):
+            if prof.enabled:
+                prof.count("repro_ksp_iterations_total",
+                           labels={"method": "cg"})
+            yield from op.mult(p, Ap)
+            pAp = yield from p.dot(Ap)
+            if pAp <= 0:
+                raise PETScError(
+                    f"operator not positive definite: p.Ap = {pAp} at "
+                    f"iteration {it}"
+                )
+            alpha = rz / pAp
+            yield from x.axpy(alpha, p)
+            yield from r.axpy(-alpha, Ap)
+            rnorm = yield from r.norm()
+            norms.append(rnorm)
+            if rnorm <= target:
+                return SolveResult(True, it, norms)
+            if pc is None:
+                z.copy_from(r)
+            else:
+                yield from z.set(0.0)
+                yield from pc(r, z)
+            rz_new = yield from r.dot(z)
+            beta = rz_new / rz
+            rz = rz_new
+            yield from p.aypx(beta, z)
     return SolveResult(False, maxits, norms)
 
 
@@ -136,6 +152,7 @@ def GMRES(
     norms: List[float] = []
     target: Optional[float] = None
     total_it = 0
+    prof, grank = _profiler_of(b)
     while True:
         # (re)start: r = M^{-1}(b - Ax)
         yield from op.residual(b, x, w)
@@ -155,35 +172,40 @@ def GMRES(
         g = np.zeros(restart + 1)
         g[0] = beta
         k = 0
-        while k < restart and total_it < maxits:
-            yield from op.mult(V[k], w)
-            yield from apply_pc(w, z)
-            # modified Gram-Schmidt
-            for i in range(k + 1):
-                H[i, k] = yield from z.dot(V[i])
-                yield from z.axpy(-H[i, k], V[i])
-            H[k + 1, k] = yield from z.norm()
-            if H[k + 1, k] > 1e-14 * max(1.0, beta):
-                V.append(b.duplicate())
-                V[k + 1].copy_from(z)
-                yield from V[k + 1].scale(1.0 / H[k + 1, k])
-            # apply previous Givens rotations to the new column
-            for i in range(k):
-                t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
-                H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
-                H[i, k] = t
-            denom = np.hypot(H[k, k], H[k + 1, k])
-            cs[k] = H[k, k] / denom if denom else 1.0
-            sn[k] = H[k + 1, k] / denom if denom else 0.0
-            H[k, k] = denom
-            H[k + 1, k] = 0.0
-            g[k + 1] = -sn[k] * g[k]
-            g[k] = cs[k] * g[k]
-            total_it += 1
-            k += 1
-            norms.append(abs(g[k]))
-            if abs(g[k]) <= target or H[k - 1, k - 1] == 0.0:
-                break
+        with prof.span("solver", "ksp_cycle", grank, method="gmres") as _cyc:
+            while k < restart and total_it < maxits:
+                if prof.enabled:
+                    prof.count("repro_ksp_iterations_total",
+                               labels={"method": "gmres"})
+                yield from op.mult(V[k], w)
+                yield from apply_pc(w, z)
+                # modified Gram-Schmidt
+                for i in range(k + 1):
+                    H[i, k] = yield from z.dot(V[i])
+                    yield from z.axpy(-H[i, k], V[i])
+                H[k + 1, k] = yield from z.norm()
+                if H[k + 1, k] > 1e-14 * max(1.0, beta):
+                    V.append(b.duplicate())
+                    V[k + 1].copy_from(z)
+                    yield from V[k + 1].scale(1.0 / H[k + 1, k])
+                # apply previous Givens rotations to the new column
+                for i in range(k):
+                    t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
+                    H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
+                    H[i, k] = t
+                denom = np.hypot(H[k, k], H[k + 1, k])
+                cs[k] = H[k, k] / denom if denom else 1.0
+                sn[k] = H[k + 1, k] / denom if denom else 0.0
+                H[k, k] = denom
+                H[k + 1, k] = 0.0
+                g[k + 1] = -sn[k] * g[k]
+                g[k] = cs[k] * g[k]
+                total_it += 1
+                k += 1
+                norms.append(abs(g[k]))
+                if abs(g[k]) <= target or H[k - 1, k - 1] == 0.0:
+                    break
+            _cyc.attrs["iterations"] = k
         # form the correction: y = H^{-1} g, x += V y
         if k > 0:
             y = np.zeros(k)
@@ -238,19 +260,25 @@ def Chebyshev(
         return SolveResult(True, 0, norms)
     d.copy_from(r)
     yield from d.scale(1.0 / theta)
+    prof, grank = _profiler_of(b)
     for it in range(1, maxits + 1):
-        yield from x.axpy(1.0, d)
-        yield from op.mult(d, Ad)
-        yield from r.axpy(-1.0, Ad)
-        rnorm = yield from r.norm()
-        norms.append(rnorm)
-        if rnorm <= target:
-            return SolveResult(True, it, norms)
-        rho_new = 1.0 / (2.0 * sigma1 - rho)
-        # d = rho_new*rho * d + (2*rho_new/delta) * r
-        yield from d.scale(rho_new * rho)
-        yield from d.axpy(2.0 * rho_new / delta, r)
-        rho = rho_new
+        with prof.span("solver", "ksp_iteration", grank,
+                       method="chebyshev", it=it):
+            if prof.enabled:
+                prof.count("repro_ksp_iterations_total",
+                           labels={"method": "chebyshev"})
+            yield from x.axpy(1.0, d)
+            yield from op.mult(d, Ad)
+            yield from r.axpy(-1.0, Ad)
+            rnorm = yield from r.norm()
+            norms.append(rnorm)
+            if rnorm <= target:
+                return SolveResult(True, it, norms)
+            rho_new = 1.0 / (2.0 * sigma1 - rho)
+            # d = rho_new*rho * d + (2*rho_new/delta) * r
+            yield from d.scale(rho_new * rho)
+            yield from d.axpy(2.0 * rho_new / delta, r)
+            rho = rho_new
     return SolveResult(False, maxits, norms)
 
 
@@ -296,45 +324,51 @@ def BiCGStab(
     rho_old = alpha = omega = 1.0
     yield from v.set(0.0)
     yield from p.set(0.0)
+    prof, grank = _profiler_of(b)
     for it in range(1, maxits + 1):
-        rho = yield from r0.dot(r)
-        if rho == 0.0:
-            return SolveResult(False, it, norms)  # breakdown
-        beta = (rho / rho_old) * (alpha / omega)
-        # p = r + beta*(p - omega*v)
-        yield from p.axpy(-omega, v)
-        yield from p.aypx(beta, r)
-        yield from apply_pc(p, phat)
-        yield from op.mult(phat, v)
-        r0v = yield from r0.dot(v)
-        if r0v == 0.0:
-            return SolveResult(False, it, norms)
-        alpha = rho / r0v
-        s.copy_from(r)
-        yield from s.axpy(-alpha, v)
-        snorm = yield from s.norm()
-        if snorm <= target:
+        if prof.enabled:
+            prof.count("repro_ksp_iterations_total",
+                       labels={"method": "bicgstab"})
+        with prof.span("solver", "ksp_iteration", grank,
+                       method="bicgstab", it=it):
+            rho = yield from r0.dot(r)
+            if rho == 0.0:
+                return SolveResult(False, it, norms)  # breakdown
+            beta = (rho / rho_old) * (alpha / omega)
+            # p = r + beta*(p - omega*v)
+            yield from p.axpy(-omega, v)
+            yield from p.aypx(beta, r)
+            yield from apply_pc(p, phat)
+            yield from op.mult(phat, v)
+            r0v = yield from r0.dot(v)
+            if r0v == 0.0:
+                return SolveResult(False, it, norms)
+            alpha = rho / r0v
+            s.copy_from(r)
+            yield from s.axpy(-alpha, v)
+            snorm = yield from s.norm()
+            if snorm <= target:
+                yield from x.axpy(alpha, phat)
+                norms.append(snorm)
+                return SolveResult(True, it, norms)
+            yield from apply_pc(s, shat)
+            yield from op.mult(shat, t)
+            tt = yield from t.dot(t)
+            ts = yield from t.dot(s)
+            if tt == 0.0:
+                return SolveResult(False, it, norms)
+            omega = ts / tt
             yield from x.axpy(alpha, phat)
-            norms.append(snorm)
-            return SolveResult(True, it, norms)
-        yield from apply_pc(s, shat)
-        yield from op.mult(shat, t)
-        tt = yield from t.dot(t)
-        ts = yield from t.dot(s)
-        if tt == 0.0:
-            return SolveResult(False, it, norms)
-        omega = ts / tt
-        yield from x.axpy(alpha, phat)
-        yield from x.axpy(omega, shat)
-        r.copy_from(s)
-        yield from r.axpy(-omega, t)
-        rnorm = yield from r.norm()
-        norms.append(rnorm)
-        if rnorm <= target:
-            return SolveResult(True, it, norms)
-        if omega == 0.0:
-            return SolveResult(False, it, norms)
-        rho_old = rho
+            yield from x.axpy(omega, shat)
+            r.copy_from(s)
+            yield from r.axpy(-omega, t)
+            rnorm = yield from r.norm()
+            norms.append(rnorm)
+            if rnorm <= target:
+                return SolveResult(True, it, norms)
+            if omega == 0.0:
+                return SolveResult(False, it, norms)
+            rho_old = rho
     return SolveResult(False, maxits, norms)
 
 
@@ -359,20 +393,26 @@ def Richardson(
     r = b.duplicate()
     z = b.duplicate()
     norms: List[float] = []
+    prof, grank = _profiler_of(b)
     for it in range(maxits + 1):
-        yield from op.residual(b, x, r)
-        rnorm = yield from r.norm()
-        norms.append(rnorm)
-        if it == 0:
-            target = max(atol, rtol * rnorm)
-        if rnorm <= target:
-            return SolveResult(True, it, norms)
-        if it == maxits:
-            break
-        if pc is None:
-            z.copy_from(r)
-        else:
-            yield from z.set(0.0)
-            yield from pc(r, z)
-        yield from x.axpy(omega, z)
+        with prof.span("solver", "ksp_iteration", grank,
+                       method="richardson", it=it):
+            if prof.enabled and it > 0:
+                prof.count("repro_ksp_iterations_total",
+                           labels={"method": "richardson"})
+            yield from op.residual(b, x, r)
+            rnorm = yield from r.norm()
+            norms.append(rnorm)
+            if it == 0:
+                target = max(atol, rtol * rnorm)
+            if rnorm <= target:
+                return SolveResult(True, it, norms)
+            if it == maxits:
+                break
+            if pc is None:
+                z.copy_from(r)
+            else:
+                yield from z.set(0.0)
+                yield from pc(r, z)
+            yield from x.axpy(omega, z)
     return SolveResult(False, maxits, norms)

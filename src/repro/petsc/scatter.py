@@ -191,15 +191,25 @@ class VecScatter:
             raise PETScError(f"unknown scatter mode {mode!r}")
         src_arr = src.local if isinstance(src, Vec) else np.asarray(src)
         dst_arr = dst.local if isinstance(dst, Vec) else np.asarray(dst)
-        if backend == "hand_tuned":
-            yield from self._scatter_hand_tuned(src_arr, dst_arr, mode)
-        elif backend == "datatype":
-            if mode == "insert":
-                yield from self._scatter_datatype(src_arr, dst_arr)
+        comm = self.comm
+        prof = comm.cluster.profiler
+        if prof.enabled:
+            nbytes = (sum(v.size for v in self.send_map.values())
+                      + self.local_src.size) * _ITEM
+            prof.count("repro_vecscatter_ops_total",
+                       labels={"backend": backend, "mode": mode})
+            prof.count("repro_vecscatter_bytes_total", nbytes)
+        with prof.span("petsc", "vecscatter", comm.grank, backend=backend,
+                       mode=mode, peers=len(self.send_map)):
+            if backend == "hand_tuned":
+                yield from self._scatter_hand_tuned(src_arr, dst_arr, mode)
+            elif backend == "datatype":
+                if mode == "insert":
+                    yield from self._scatter_datatype(src_arr, dst_arr)
+                else:
+                    yield from self._scatter_datatype_add(src_arr, dst_arr)
             else:
-                yield from self._scatter_datatype_add(src_arr, dst_arr)
-        else:
-            raise PETScError(f"unknown scatter backend {backend!r}")
+                raise PETScError(f"unknown scatter backend {backend!r}")
 
     # -- hand-tuned backend ----------------------------------------------------------
 

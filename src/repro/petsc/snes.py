@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Generator, List
 
 
-from repro.petsc.ksp import GMRES
+from repro.petsc.ksp import GMRES, _profiler_of
 from repro.petsc.mat import Operator
 from repro.petsc.vec import PETScError, Vec
 
@@ -100,34 +100,39 @@ def NewtonKrylov(
     if fnorm <= target:
         return SNESResult(True, 0, norms, 0)
 
+    prof, grank = _profiler_of(x)
     for it in range(1, maxits + 1):
-        J = _MatrixFreeJacobian(residual, x, f)
-        rhs.copy_from(f)
-        yield from rhs.scale(-1.0)
-        yield from dx.set(0.0)
-        lin = yield from GMRES(
-            J, rhs, dx, restart=min(30, linear_maxits),
-            rtol=linear_rtol, maxits=linear_maxits,
-        )
-        linear_total += lin.iterations
-        # backtracking line search on ||F(x + lam dx)||
-        lam = 1.0
-        accepted = False
-        for _ in range(max_backtracks + 1):
-            trial.copy_from(x)
-            yield from trial.axpy(lam, dx)
-            yield from residual(trial, ftrial)
-            tnorm = yield from ftrial.norm()
-            if tnorm < fnorm * (1.0 - 1e-4 * lam) or tnorm <= target:
-                accepted = True
-                break
-            lam *= 0.5
-        if not accepted:
-            return SNESResult(False, it, norms, linear_total)
-        x.copy_from(trial)
-        f.copy_from(ftrial)
-        fnorm = tnorm
-        norms.append(fnorm)
-        if fnorm <= target:
-            return SNESResult(True, it, norms, linear_total)
+        with prof.span("solver", "snes_iteration", grank, it=it) as _sp:
+            if prof.enabled:
+                prof.count("repro_snes_iterations_total")
+            J = _MatrixFreeJacobian(residual, x, f)
+            rhs.copy_from(f)
+            yield from rhs.scale(-1.0)
+            yield from dx.set(0.0)
+            lin = yield from GMRES(
+                J, rhs, dx, restart=min(30, linear_maxits),
+                rtol=linear_rtol, maxits=linear_maxits,
+            )
+            linear_total += lin.iterations
+            _sp.attrs["linear_iterations"] = lin.iterations
+            # backtracking line search on ||F(x + lam dx)||
+            lam = 1.0
+            accepted = False
+            for _ in range(max_backtracks + 1):
+                trial.copy_from(x)
+                yield from trial.axpy(lam, dx)
+                yield from residual(trial, ftrial)
+                tnorm = yield from ftrial.norm()
+                if tnorm < fnorm * (1.0 - 1e-4 * lam) or tnorm <= target:
+                    accepted = True
+                    break
+                lam *= 0.5
+            if not accepted:
+                return SNESResult(False, it, norms, linear_total)
+            x.copy_from(trial)
+            f.copy_from(ftrial)
+            fnorm = tnorm
+            norms.append(fnorm)
+            if fnorm <= target:
+                return SNESResult(True, it, norms, linear_total)
     return SNESResult(False, maxits, norms, linear_total)

@@ -163,6 +163,9 @@ class Engine:
         self._seq = 0
         self._live_processes = 0
         self._trace: Optional[Callable[[float, str], None]] = None
+        #: instrumentation counters (read by repro.prof; cheap to maintain)
+        self.events_fired = 0
+        self.processes_spawned = 0
 
     # -- scheduling primitives ------------------------------------------
 
@@ -190,6 +193,7 @@ class Engine:
             raise TypeError(f"spawn() needs a generator, got {type(gen).__name__}")
         proc = SimProcess(self, gen, name or getattr(gen, "__name__", "proc"))
         self._live_processes += 1
+        self.processes_spawned += 1
         self.schedule(0.0, lambda: self._step(proc, _SEND, None))
         return proc
 
@@ -265,6 +269,7 @@ class Engine:
                 self.now = until
                 return self.now
             self.now = t
+            self.events_fired += 1
             fn()
         if self._live_processes > 0:
             raise SimulationDeadlock(

@@ -20,7 +20,8 @@ clusters and are heterogeneous.
 from __future__ import annotations
 
 import random
-from typing import Generator, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional
 
 from repro.simtime.engine import Delay, Engine
 from repro.simtime.resources import Port
@@ -28,6 +29,24 @@ from repro.util.costmodel import CostModel
 
 #: number of nodes per physical cluster in the paper's testbed
 CLUSTER_NODES = 32
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """One completed wire transfer, reported to transfer listeners.
+
+    ``t_start``/``t_end`` bracket the whole operation including port
+    acquisition; ``sig`` is the flattened-datatype signature hash riding
+    along as metadata (None for control-plane/raw transfers).
+    """
+
+    src: int
+    dst: int
+    nbytes: int
+    tag: int
+    sig: Optional[int]
+    t_start: float
+    t_end: float
 
 
 class NetworkModel:
@@ -61,6 +80,18 @@ class NetworkModel:
         self._speed = [self._speed_factor(r) for r in range(nranks)]
         self.bytes_on_wire = 0
         self.messages_on_wire = 0
+        #: called with a :class:`TransferEvent` after each completed transfer
+        self._transfer_listeners: List[Callable[[TransferEvent], None]] = []
+
+    def add_transfer_listener(self, fn: Callable[[TransferEvent], None]) -> None:
+        """Register ``fn(event)`` to run after every completed transfer.
+
+        This is the supported instrumentation point (used by the cluster to
+        fan events out to its observers); wrapping/monkey-patching
+        :meth:`transfer` is not, since multiple wrappers double-wrap the
+        generator.
+        """
+        self._transfer_listeners.append(fn)
 
     def _speed_factor(self, rank: int) -> float:
         """CPU-time multiplier for ``rank`` (1.0 = fast Intel node)."""
@@ -107,8 +138,19 @@ class NetworkModel:
 
         ``tag`` and ``sig`` (the message tag and the flattened datatype
         signature hash) are pure metadata: the wire ignores them, but
-        wrappers such as :class:`repro.mpi.trace.MessageTrace` record them.
+        transfer listeners such as :class:`repro.mpi.trace.MessageTrace`
+        (subscribed through the cluster observer API) record them.
         """
+        t_start = self.engine.now
+        yield from self._transfer(src, dst, nbytes, latency)
+        if self._transfer_listeners:
+            event = TransferEvent(src, dst, nbytes, tag, sig,
+                                  t_start, self.engine.now)
+            for fn in self._transfer_listeners:
+                fn(event)
+
+    def _transfer(self, src: int, dst: int, nbytes: int,
+                  latency: Optional[float] = None) -> Generator:
         if not (0 <= src < self.nranks and 0 <= dst < self.nranks):
             raise ValueError(f"rank out of range: {src}->{dst}")
         if latency is None:

@@ -17,14 +17,30 @@ maximum of an N-element set).
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 
-def k_select(values: Sequence[float], k: int) -> float:
+@dataclass
+class SelectStats:
+    """Instrumentation counters for :func:`k_select` (profiling only).
+
+    ``calls`` counts top-level selections, ``pivot_passes`` counts partition
+    passes (one per loop iteration of the SELECT kernel, recursion
+    included).  Pass one object through several calls to accumulate.
+    """
+
+    calls: int = 0
+    pivot_passes: int = 0
+
+
+def k_select(values: Sequence[float], k: int,
+             stats: Optional[SelectStats] = None) -> float:
     """Return the ``k``-th smallest element (1-based) of ``values``.
 
     Runs in expected linear time via Floyd-Rivest SELECT.  ``values`` is not
-    modified; a working copy is made once.
+    modified; a working copy is made once.  ``stats``, when given, is
+    updated in place with call/partition-pass counts.
 
     >>> k_select([5, 1, 4, 2, 3], 2)
     2
@@ -34,15 +50,20 @@ def k_select(values: Sequence[float], k: int) -> float:
         raise ValueError("k_select of empty sequence")
     if not 1 <= k <= n:
         raise ValueError(f"k={k} out of range 1..{n}")
+    if stats is not None:
+        stats.calls += 1
     work = list(values)
-    _floyd_rivest(work, 0, n - 1, k - 1)
+    _floyd_rivest(work, 0, n - 1, k - 1, stats)
     return work[k - 1]
 
 
-def _floyd_rivest(a: list, left: int, right: int, k: int) -> None:
+def _floyd_rivest(a: list, left: int, right: int, k: int,
+                  stats: Optional[SelectStats] = None) -> None:
     """In-place SELECT: after return, ``a[k]`` holds the k-th order statistic
     of ``a[left..right]`` and the array is partitioned around it."""
     while right > left:
+        if stats is not None:
+            stats.pivot_passes += 1
         if right - left > 600:
             # Sample recursion: select within a sample of size ~n^(2/3)
             # centred on where the k-th element is expected to fall.
@@ -55,7 +76,7 @@ def _floyd_rivest(a: list, left: int, right: int, k: int) -> None:
                 sd = -sd
             new_left = max(left, int(k - i * s / n + sd))
             new_right = min(right, int(k + (n - i) * s / n + sd))
-            _floyd_rivest(a, new_left, new_right, k)
+            _floyd_rivest(a, new_left, new_right, k, stats)
         # Standard three-way-ish partition around a[k].
         t = a[k]
         i, j = left, right

@@ -30,6 +30,7 @@ def run_example(name: str, argv=()):
         "ghost_exchange_2d.py",
         "nonuniform_collectives.py",
         "trace_communication.py",
+        "profile_breakdown.py",
         "checkpoint_io.py",
         "bratu_nonlinear.py",
     ],

@@ -104,7 +104,10 @@ def test_timeline_and_summary():
                 yield from comm.recv(buf, source=0)
 
     cluster.run(main)
-    hist = trace.timeline(bins=4)
+    edges, hist = trace.timeline(bins=4)
+    assert edges.shape == (5,)
+    assert np.all(np.diff(edges) > 0)
+    assert edges[0] == 0.0
     assert hist.sum() == 5 * 800
     text = trace.summary()
     assert "messages : 5" in text
@@ -115,5 +118,54 @@ def test_empty_trace():
     trace = MessageTrace(4)
     assert len(trace) == 0
     assert trace.busiest_pair() is None
-    assert trace.timeline().sum() == 0
+    edges, hist = trace.timeline()
+    assert edges.shape == (11,)
+    assert hist.sum() == 0
     assert trace.zero_byte_count() == 0
+
+
+def test_timeline_zero_duration():
+    """All messages at t=0 must not divide by zero."""
+    from repro.mpi.trace import TraceRecord
+
+    trace = MessageTrace(2)
+    trace.records.append(TraceRecord(0.0, 0.0, 0, 1, 0, 64))
+    edges, hist = trace.timeline(bins=3)
+    assert edges[-1] == 1.0
+    assert hist.tolist() == [64, 0, 0]
+
+
+def test_timeline_rejects_bad_bins():
+    import pytest
+
+    trace = MessageTrace(2)
+    with pytest.raises(ValueError):
+        trace.timeline(bins=0)
+
+
+def test_double_attach_does_not_monkeypatch():
+    """Regression: two traces on one cluster each see every message once.
+
+    The old implementation wrapped ``cluster.net.transfer``; a second
+    attach wrapped the wrapper, so traces double-counted.  The observer
+    API keeps ``net.transfer`` untouched.
+    """
+    cluster = make_cluster(2)
+    from repro.simtime.network import NetworkModel
+
+    t1 = MessageTrace.attach(cluster)
+    t2 = MessageTrace.attach(cluster)
+    # no monkey-patching: net.transfer is still the class method
+    assert cluster.net.transfer.__func__ is NetworkModel.transfer
+
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send(np.zeros(100), dest=1)
+        else:
+            buf = np.zeros(100)
+            yield from comm.recv(buf, source=0)
+
+    cluster.run(main)
+    assert len(t1) == 1
+    assert len(t2) == 1
+    assert t1.records[0].nbytes == t2.records[0].nbytes == 800

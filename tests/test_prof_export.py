@@ -1,0 +1,189 @@
+"""Unit tests for trace export and breakdown attribution (``repro.prof.export``)."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.prof import export
+from repro.prof.export import (
+    PACK_NAMES,
+    aggregate_breakdown,
+    breakdown,
+    chrome_trace,
+    render_breakdown,
+    validate_breakdown,
+    wait_for_peers_report,
+    write_chrome_trace,
+)
+from repro.prof.spans import Tracer
+
+
+class FakeEngine:
+    def __init__(self):
+        self.now = 0.0
+
+
+def xfer(src, dst, t0, t1, nbytes=64, tag=0):
+    return SimpleNamespace(src=src, dst=dst, t_start=t0, t_end=t1,
+                           nbytes=nbytes, tag=tag)
+
+
+def scripted_profiler():
+    """A hand-built profile on rank 0:
+
+    - one ``collective`` span covering [0, 10],
+    - cpu ``pack``  [0, 2]    -> pack    = 2
+    - cpu ``compute`` [2, 3]  -> compute = 1
+    - wire transfer [2.5, 6]  -> wire    = 3   (2.5..3 hidden behind CPU)
+    - residual                -> wait    = 4
+    """
+    clock = FakeEngine()
+    tracer = Tracer(clock)
+    coll = tracer.span("collective", "allgatherv", 0, algorithm="ring")
+    sp = coll.__enter__()
+    with tracer.span("cpu", "pack", 0):
+        clock.now = 2.0
+    with tracer.span("cpu", "compute", 0):
+        clock.now = 3.0
+    clock.now = 10.0
+    coll.__exit__(None, None, None)
+    prof = SimpleNamespace(
+        tracer=tracer,
+        transfers=[xfer(0, 1, 2.5, 6.0, nbytes=640)],
+        label="test cluster",
+    )
+    return prof, sp
+
+
+def test_interval_helpers():
+    assert export._union([(0, 1), (0.5, 2), (3, 4)]) == [(0, 2), (3, 4)]
+    assert export._union([(1, 1)]) == []          # empty intervals dropped
+    assert export._length([(0, 2), (3, 4)]) == 3
+    assert export._clip([(0, 10)], 2, 5) == [(2, 5)]
+    assert export._clip([(0, 1)], 2, 5) == []
+    assert export._subtract([(0, 10)], [(2, 3), (5, 7)]) == [
+        (0, 2), (3, 5), (7, 10),
+    ]
+    assert export._subtract([(0, 4)], [(0, 10)]) == []
+
+
+def test_breakdown_attribution_sums_exactly():
+    prof, _sp = scripted_profiler()
+    rows = breakdown(prof, "collective")
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["op"] == "allgatherv"
+    assert row["rank"] == 0
+    assert row["elapsed"] == pytest.approx(10.0)
+    assert row["pack"] == pytest.approx(2.0)
+    assert row["compute"] == pytest.approx(1.0)
+    assert row["wire"] == pytest.approx(3.0)      # 2.5..3 hidden behind CPU
+    assert row["wait"] == pytest.approx(4.0)
+    assert row["pack"] + row["compute"] + row["wire"] + row["wait"] == \
+        pytest.approx(row["elapsed"])
+    assert row["attrs"]["algorithm"] == "ring"
+    assert validate_breakdown(rows)
+
+
+def test_breakdown_skips_open_spans_and_other_categories():
+    clock = FakeEngine()
+    tracer = Tracer(clock)
+    tracer.span("collective", "bcast", 0).__enter__()   # never closed
+    with tracer.span("p2p", "isend", 0):
+        clock.now = 1.0
+    prof = SimpleNamespace(tracer=tracer, transfers=[])
+    assert breakdown(prof, "collective") == []
+    assert [r["op"] for r in breakdown(prof, "p2p")] == ["isend"]
+
+
+def test_validate_breakdown_catches_drift():
+    rows = [{"op": "x", "elapsed": 10.0, "pack": 2.0, "compute": 1.0,
+             "wire": 3.0, "wait": 4.0}]
+    assert validate_breakdown(rows)
+    rows[0]["wait"] = 3.0                          # 10% short
+    assert not validate_breakdown(rows)
+    assert validate_breakdown(rows, rel_tol=0.2)
+
+
+def test_aggregate_and_render():
+    prof, _sp = scripted_profiler()
+    rows = breakdown(prof, "collective")
+    agg = aggregate_breakdown(rows)
+    assert len(agg) == 1
+    a = agg[0]
+    assert a["op"] == "allgatherv"
+    assert a["calls"] == 1
+    assert a["pack_pct"] == pytest.approx(20.0)
+    assert a["wait_pct"] == pytest.approx(40.0)
+    text = render_breakdown(rows)
+    assert "allgatherv" in text
+    assert "wait%" in text
+
+
+def test_wait_for_peers_report():
+    rows = [
+        {"op": "allgatherv", "elapsed": 10.0, "wait": 4.0},
+        {"op": "allgatherv", "elapsed": 10.0, "wait": 8.0},
+        {"op": "barrier", "elapsed": 0.0, "wait": 0.0},
+    ]
+    rep = wait_for_peers_report(rows)
+    assert rep["allgatherv"]["rows"] == 2
+    assert rep["allgatherv"]["min_wait_share"] == pytest.approx(0.4)
+    assert rep["allgatherv"]["max_wait_share"] == pytest.approx(0.8)
+    assert rep["allgatherv"]["mean_wait_share"] == pytest.approx(0.6)
+    assert rep["barrier"]["mean_wait_share"] == 0.0
+
+
+def test_chrome_trace_structure():
+    prof, _sp = scripted_profiler()
+    obj = chrome_trace(prof)
+    events = obj["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    slices = [e for e in events if e["ph"] == "X"]
+    assert {"process_name", "thread_name"} <= {e["name"] for e in meta}
+    # process named after the profiler label
+    pname = next(e for e in meta if e["name"] == "process_name")
+    assert pname["args"]["name"] == "test cluster"
+    # 3 spans + 1 wire transfer, ts/dur in microseconds
+    assert len(slices) == 4
+    coll = next(e for e in slices if e["name"] == "allgatherv")
+    assert coll["ts"] == pytest.approx(0.0)
+    assert coll["dur"] == pytest.approx(10.0 * 1e6)
+    wire = next(e for e in slices if e["cat"] == "wire")
+    assert wire["name"] == "xfer 0->1"
+    assert wire["args"]["nbytes"] == 640
+    # every slice points at a declared thread
+    tids = {e["tid"] for e in meta if e["name"] == "thread_name"}
+    assert all(e["tid"] in tids for e in slices)
+
+
+def test_chrome_trace_multiple_profilers_get_distinct_pids():
+    p1, _ = scripted_profiler()
+    p2, _ = scripted_profiler()
+    obj = chrome_trace([p1, p2])
+    pids = {e["pid"] for e in obj["traceEvents"]}
+    assert pids == {0, 1}
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    prof, _sp = scripted_profiler()
+    path = tmp_path / "trace.json"
+    obj = write_chrome_trace(str(path), prof)
+    loaded = json.loads(path.read_text())
+    assert loaded == json.loads(json.dumps(obj))
+    assert loaded["displayTimeUnit"] == "ms"
+
+
+def test_json_safe_attrs():
+    clock = FakeEngine()
+    tracer = Tracer(clock)
+    with tracer.span("cpu", "pack", 0, shape=(4, 4), dtype=object()):
+        pass
+    prof = SimpleNamespace(tracer=tracer, transfers=[])
+    obj = chrome_trace(prof)
+    json.dumps(obj)  # must not raise
+
+
+def test_pack_names_cover_the_ledger_categories():
+    assert PACK_NAMES == {"pack", "search", "lookahead", "unpack"}

@@ -1,0 +1,145 @@
+"""Unit tests for the span tracer (``repro.prof.spans``)."""
+
+import pytest
+
+from repro.prof.spans import SPAN_CATEGORIES, Span, Tracer
+
+
+class FakeEngine:
+    """A clock the test advances by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeEngine()
+
+
+@pytest.fixture()
+def tracer(clock):
+    return Tracer(clock)
+
+
+def test_span_records_simulated_interval(tracer, clock):
+    clock.advance(1.0)
+    with tracer.span("collective", "allgatherv", 0, nbytes=64) as sp:
+        clock.advance(2.5)
+    assert sp.t_start == 1.0
+    assert sp.t_end == 3.5
+    assert sp.duration == 2.5
+    assert not sp.open
+    assert sp.attrs == {"nbytes": 64}
+    assert len(tracer) == 1
+
+
+def test_late_bound_attrs(tracer, clock):
+    with tracer.span("collective", "allgatherv", 0) as sp:
+        sp.attrs["algorithm"] = "ring"
+    assert tracer.spans[0].attrs["algorithm"] == "ring"
+
+
+def test_nesting_same_track(tracer, clock):
+    with tracer.span("collective", "outer", 3) as outer:
+        clock.advance(1.0)
+        with tracer.span("phase", "inner", 3) as inner:
+            clock.advance(1.0)
+    assert outer.parent is None
+    assert outer.depth == 0
+    assert inner.parent == outer.id
+    assert inner.depth == 1
+    assert outer.encloses(inner)
+    assert not inner.encloses(outer)
+    assert tracer.children_of(outer) == [inner]
+
+
+def test_lanes_are_independent_tracks(tracer, clock):
+    with tracer.span("p2p", "isend", 0):
+        with tracer.span("cpu", "unpack", 0, lane="io") as io_span:
+            clock.advance(1.0)
+    # the io lane does not nest under the main lane
+    assert io_span.parent is None
+    assert io_span.depth == 0
+    assert tracer.tracks() == [(0, "io"), (0, "main")]
+
+
+def test_close_by_identity_interleaved(tracer, clock):
+    """Background processes on one track may close out of stack order."""
+    a_ctx = tracer.span("cpu", "a", 0)
+    b_ctx = tracer.span("cpu", "b", 0)
+    a = a_ctx.__enter__()
+    b = b_ctx.__enter__()
+    clock.advance(1.0)
+    a_ctx.__exit__(None, None, None)   # close the OUTER span first
+    clock.advance(1.0)
+    b_ctx.__exit__(None, None, None)
+    assert a.t_end == 1.0
+    assert b.t_end == 2.0
+    assert b.parent == a.id            # parentage fixed at open time
+    assert tracer.open_spans() == []
+
+
+def test_open_spans_listed_until_closed(tracer, clock):
+    ctx = tracer.span("wait", "request_wait", 1)
+    sp = ctx.__enter__()
+    assert tracer.open_spans() == [sp]
+    assert sp.duration == 0.0          # open spans report zero duration
+    ctx.__exit__(None, None, None)
+    assert tracer.open_spans() == []
+
+
+def test_instant_marks_current_time_and_parent(tracer, clock):
+    clock.advance(2.0)
+    with tracer.span("collective", "bcast", 0) as sp:
+        mark = tracer.instant("marker", "enter:bcast", 0, seq=7)
+    assert mark.t_start == mark.t_end == 2.0
+    assert mark.parent == sp.id
+    assert mark.attrs == {"seq": 7}
+    # instants are kept apart from spans
+    assert mark not in tracer.spans
+    assert tracer.instants == [mark]
+
+
+def test_queries(tracer, clock):
+    with tracer.span("collective", "allgatherv", 0):
+        with tracer.span("phase", "ring_hop", 0):
+            pass
+        with tracer.span("phase", "ring_hop", 0):
+            pass
+    with tracer.span("collective", "barrier", 1):
+        pass
+    assert [s.name for s in tracer.by_category("phase")] == ["ring_hop"] * 2
+    assert len(tracer.by_name("ring_hop")) == 2
+    assert len(tracer.by_category("collective")) == 2
+    # recording order is open order
+    assert [s.name for s in tracer.walk()] == [
+        "allgatherv", "ring_hop", "ring_hop", "barrier",
+    ]
+    assert tracer.tracks() == [(0, "main"), (1, "main")]
+
+
+def test_span_ids_unique(tracer):
+    for _ in range(5):
+        with tracer.span("cpu", "pack", 0):
+            pass
+    ids = [s.id for s in tracer.spans]
+    assert len(set(ids)) == 5
+
+
+def test_encloses_requires_closed_spans():
+    a = Span(0, None, "cpu", "a", 0, (0, "main"), 0.0, t_end=None)
+    b = Span(1, None, "cpu", "b", 0, (0, "main"), 0.0, t_end=1.0)
+    assert not a.encloses(b)
+    assert not b.encloses(a)
+
+
+def test_category_catalogue_is_stable():
+    """The documented span categories instrumented code relies on."""
+    assert SPAN_CATEGORIES == (
+        "p2p", "cpu", "collective", "phase", "petsc", "solver", "wait",
+        "marker",
+    )
