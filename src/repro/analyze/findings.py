@@ -43,6 +43,9 @@ RULES = {
                         "driven ('yield from' missing)"),
     "LNT004": ("warning", "mutable default argument"),
     "LNT005": ("warning", "time.sleep in simulated code (yield Delay/cpu instead)"),
+    "LNT006": ("error", "concrete collective-algorithm implementation imported "
+                        "outside the registry (go through "
+                        "repro.mpi.algorithms.REGISTRY)"),
 }
 
 

@@ -1,4 +1,4 @@
-"""AST-based project lint (rules LNT001-LNT005).
+"""AST-based project lint (rules LNT001-LNT006).
 
 Repo-specific invariants that generic linters do not know about:
 
@@ -15,7 +15,12 @@ Repo-specific invariants that generic linters do not know about:
   nothing -- the single most common bug in simulated-process code,
 - **LNT004** -- mutable default arguments,
 - **LNT005** -- ``time.sleep`` in simulated code (wall-clock sleeps do not
-  advance simulated time; charge ``yield Delay(..)`` or ``comm.cpu``).
+  advance simulated time; charge ``yield Delay(..)`` or ``comm.cpu``),
+- **LNT006** -- importing a concrete collective-algorithm implementation
+  (``_ring``, ``_binned``, ...) from outside the algorithm subsystem.
+  Which implementation runs is a *selection-policy* decision; go through
+  :data:`repro.mpi.algorithms.REGISTRY` (or pass ``algorithm=...`` to the
+  collective) instead of hard-wiring one.
 
 Use :func:`lint_paths` for files/directories or ``python -m repro.analyze
 --lint src`` from the shell; CI runs the latter on every push.
@@ -42,6 +47,19 @@ BLOCKING_GENERATOR_METHODS = frozenset({
 
 #: rebuild-in-loop methods for LNT002
 RESCAN_METHODS = frozenset({"flatten", "pack"})
+
+#: concrete algorithm implementations that only the registry may dispatch
+ALGORITHM_IMPL_NAMES = frozenset({
+    "_ring", "_recursive_doubling", "_dissemination",
+    "_round_robin", "_binned",
+    "_barrier_dissemination", "_bcast_binomial",
+    "_allreduce_recursive_doubling", "_gather_obj_linear",
+    "_gatherv_linear", "_scatterv_linear", "_alltoall_pairwise",
+    "_reduce_binomial", "_allreduce_rd_array", "_scan_doubling",
+})
+
+#: path fragments exempt from LNT006 (the algorithm subsystem itself)
+_LNT006_EXEMPT = ("repro/mpi/algorithms", "repro/mpi/collectives")
 
 
 def _assigned_names(node: ast.AST) -> set:
@@ -137,6 +155,24 @@ class _Linter(ast.NodeVisitor):
 
     visit_For = _visit_loop
     visit_While = _visit_loop
+
+    # LNT006 ---------------------------------------------------------------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        exempt = any(frag in self.path.replace("\\", "/")
+                     for frag in _LNT006_EXEMPT)
+        if not exempt and module.startswith("repro.mpi.collectives"):
+            for alias in node.names:
+                if alias.name in ALGORITHM_IMPL_NAMES:
+                    self.report.add(
+                        "LNT006",
+                        f"concrete algorithm '{alias.name}' imported from "
+                        f"{module}; dispatch through "
+                        "repro.mpi.algorithms.REGISTRY (or pass "
+                        "algorithm=...) instead",
+                        location=self.path, line=node.lineno,
+                    )
+        self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func

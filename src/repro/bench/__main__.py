@@ -7,6 +7,15 @@ Usage::
     python -m repro.bench --quick         # reduced sweeps
     python -m repro.bench --quick --profile --emit-json out.json \
         --trace-out trace.json            # + repro.prof instrumentation
+    python -m repro.bench --autotune --quick \
+        --tuning-out tuning_table.json    # train + validate a tuning table
+
+``--autotune`` runs the simulator measurement sweep
+(:mod:`repro.mpi.algorithms.autotune`), writes the ``repro-tuning/1``
+table JSON, then replays the paper's nonuniform benches under the
+baseline, optimised and autotuned configurations and **fails (exit 1)**
+unless the autotuned policy ties-or-beats both fixed configs on every
+row -- the CI contract for the tuning-table artifact.
 
 With ``--profile`` every cluster built by the figure sweeps carries a
 :class:`repro.prof.Profiler`; the run then prints the Fig. 13-style
@@ -45,6 +54,13 @@ def _parse(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="write a Chrome trace-event file "
                              "(requires --profile)")
+    parser.add_argument("--autotune", action="store_true",
+                        help="train a tuning table in the simulator and "
+                             "assert it ties-or-beats the fixed configs")
+    parser.add_argument("--tuning-out", metavar="PATH",
+                        default="tuning_table.json",
+                        help="where --autotune writes the table "
+                             "(default: %(default)s)")
     return parser.parse_args(argv)
 
 
@@ -60,8 +76,79 @@ def _figure_kwargs(name: str, quick: bool) -> dict:
     return kwargs
 
 
+def _run_autotune(args: argparse.Namespace) -> int:
+    """Train a tuning table, validate it against the fixed configs."""
+    from repro.mpi.algorithms.autotune import (
+        autotune, check_ties_or_beats, compare_policies,
+    )
+
+    t0 = time.time()
+    if args.profile:
+        from repro.prof import session
+
+        session.enable()
+    try:
+        print(f"== autotune sweep ({'quick' if args.quick else 'full'}) ==")
+        table = autotune(quick=args.quick, verbose=True)
+        table.save(args.tuning_out)
+        print(f"tuning table ({len(table)} buckets) written to "
+              f"{args.tuning_out}")
+        print()
+
+        fig = compare_policies(args.tuning_out, quick=args.quick)
+        print_figure(fig)
+        print()
+        problems = check_ties_or_beats(fig)
+
+        profile_report = None
+        if args.profile:
+            from repro.prof import session
+
+            profile_report = session.report()
+        if args.emit_json:
+            doc = {
+                "schema": "repro-bench/1",
+                "quick": args.quick,
+                "tuning_table": table.as_dict(),
+                "figures": {
+                    fig.name: {
+                        "title": fig.title,
+                        "columns": fig.columns,
+                        "rows": fig.rows,
+                        "notes": fig.notes,
+                    }
+                },
+            }
+            if profile_report is not None:
+                profile_report = dict(profile_report)
+                profile_report.pop("prometheus", None)
+                doc["profile"] = profile_report
+            with open(args.emit_json, "w") as fh:
+                json.dump(doc, fh, indent=1, default=str)
+            print(f"JSON report written to {args.emit_json}")
+    finally:
+        if args.profile:
+            from repro.prof import session
+
+            session.disable()
+
+    print(f"wall time: {time.time() - t0:.0f} s")
+    if problems:
+        print("autotuned policy LOSES to a fixed config:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("autotuned policy ties-or-beats both fixed configs on every row")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     args = _parse(argv)
+    if args.autotune:
+        if args.figures:
+            print("--autotune does not take figure arguments")
+            return 2
+        return _run_autotune(args)
     wanted = args.figures or ALL
     unknown = [w for w in wanted if w not in ALL]
     if unknown:

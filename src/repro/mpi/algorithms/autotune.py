@@ -1,0 +1,208 @@
+"""Simulator-driven autotuning: measure candidates, emit a tuning table.
+
+``python -m repro.bench --autotune`` drives :func:`autotune` over a grid of
+collective scenarios (communicator sizes x volume profiles), times every
+applicable registered algorithm in the simulator, and records the winner
+per bucket key in a :class:`repro.mpi.algorithms.tuning.TuningTable`.
+:func:`compare_policies` then replays the paper's nonuniform benches
+(fig14-style outlier Allgatherv, fig15-style ring-neighbour Alltoallw)
+under the baseline, optimised and autotuned configs so CI can assert the
+table ties-or-beats both fixed configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mpi.algorithms.registry import REGISTRY, SelectionContext
+from repro.mpi.algorithms.tuning import TuningTable, bucket_key
+from repro.mpi.config import MPIConfig
+from repro.util.costmodel import CostModel
+
+#: communicator sizes the sweep trains (quick keeps the suite CI-sized)
+PROCS = (4, 6, 8, 16, 32, 64)
+PROCS_QUICK = (4, 8, 16, 32, 64)
+
+DOUBLE_BYTES = 8
+
+
+def _allgatherv_scenarios(procs: Sequence[int]) -> List[Tuple[str, int, List[int]]]:
+    """(label, nprocs, per-rank counts in doubles) grid for allgatherv."""
+    out = []
+    for n in procs:
+        out.append(("uniform-small", n, [16] * n))
+        out.append(("uniform-large", n, [4096] * n))
+        big = [1] * n
+        big[0] = 4096  # the paper's 32 KB outlier
+        out.append(("outlier", n, big))
+    return out
+
+
+def _alltoallw_scenarios(procs: Sequence[int]) -> List[Tuple[str, int, str]]:
+    """(label, nprocs, pattern) grid for alltoallw."""
+    out = []
+    for n in procs:
+        out.append(("ring-neighbour", n, "ring"))
+        if n <= 16:
+            out.append(("dense-uniform", n, "dense"))
+    return out
+
+
+def _measure_allgatherv(n: int, counts: Sequence[int], algorithm: str,
+                        config: MPIConfig, cost: Optional[CostModel]) -> float:
+    from repro.mpi.comm import Cluster
+
+    cluster = Cluster(n, config=config, cost=cost, heterogeneous=False)
+    displs = np.concatenate(([0], np.cumsum(counts[:-1]))).astype(int).tolist()
+    total = int(np.sum(counts))
+
+    def main(comm):
+        send = np.full(counts[comm.rank], float(comm.rank + 1))
+        recv = np.zeros(total)
+        yield from comm.barrier()
+        start = comm.engine.now
+        yield from comm.allgatherv(send, recv, list(counts), displs,
+                                   algorithm=algorithm)
+        return comm.engine.now - start
+
+    return float(np.mean(cluster.run(main)))
+
+
+def _measure_alltoallw(n: int, pattern: str, algorithm: str,
+                       config: MPIConfig, cost: Optional[CostModel]) -> float:
+    from repro.datatypes import DOUBLE, TypedBuffer
+    from repro.mpi.comm import Cluster
+
+    cluster = Cluster(n, config=config, cost=cost, heterogeneous=False)
+    count = 100  # the fig15 10x10 matrix of doubles
+
+    def main(comm):
+        sendbuf = np.full((n, count), float(comm.rank))
+        recvbuf = np.zeros((n, count))
+        if pattern == "ring":
+            peers = {(comm.rank + 1) % n, (comm.rank - 1) % n}
+        else:
+            peers = {p for p in range(n) if p != comm.rank}
+        sendspecs = [None] * n
+        recvspecs = [None] * n
+        for peer in peers:
+            off = peer * count * DOUBLE_BYTES
+            sendspecs[peer] = TypedBuffer(sendbuf, DOUBLE, count, offset_bytes=off)
+            recvspecs[peer] = TypedBuffer(recvbuf, DOUBLE, count, offset_bytes=off)
+        yield from comm.barrier()
+        start = comm.engine.now
+        yield from comm.alltoallw(sendspecs, recvspecs, algorithm=algorithm)
+        return comm.engine.now - start
+
+    return float(np.mean(cluster.run(main)))
+
+
+def autotune(quick: bool = False, cost: Optional[CostModel] = None,
+             procs: Optional[Sequence[int]] = None,
+             verbose: bool = False) -> TuningTable:
+    """Measure every applicable candidate per scenario; return the table."""
+    cost = cost or CostModel(cpu_noise=0.0)
+    procs = tuple(procs) if procs is not None else (PROCS_QUICK if quick else PROCS)
+    config = MPIConfig.optimized()  # engine flags on; selection is forced below
+    table = TuningTable(cost_model={
+        "alpha": cost.alpha, "beta": cost.beta, "copy_byte": cost.copy_byte,
+    })
+
+    for label, n, counts in _allgatherv_scenarios(procs):
+        volumes = [c * DOUBLE_BYTES for c in counts]
+        ctx = SelectionContext(collective="allgatherv", size=n,
+                               volumes=tuple(volumes), dtype_size=DOUBLE_BYTES,
+                               config=config, cost=cost)
+        latencies: Dict[str, float] = {}
+        for algorithm in REGISTRY.candidates("allgatherv", ctx):
+            latencies[algorithm.name] = _measure_allgatherv(
+                n, counts, algorithm.name, config, cost)
+        key = bucket_key(ctx)
+        table.record(key, latencies)
+        if verbose:
+            winner = min(latencies, key=latencies.get)
+            print(f"  allgatherv {label:>14} N={n:<3} -> {winner:<18} ({key})")
+
+    for label, n, pattern in _alltoallw_scenarios(procs):
+        volumes = [0] * n
+        if pattern == "ring":
+            volumes[(0 + 1) % n] = volumes[(0 - 1) % n] = 100 * DOUBLE_BYTES
+        else:
+            volumes = [100 * DOUBLE_BYTES] * n
+            volumes[0] = 0  # self entry carries no wire volume
+        ctx = SelectionContext(collective="alltoallw", size=n,
+                               volumes=tuple(volumes), dtype_size=DOUBLE_BYTES,
+                               config=config, cost=cost)
+        latencies = {}
+        for algorithm in REGISTRY.candidates("alltoallw", ctx):
+            latencies[algorithm.name] = _measure_alltoallw(
+                n, pattern, algorithm.name, config, cost)
+        key = bucket_key(ctx)
+        table.record(key, latencies)
+        if verbose:
+            winner = min(latencies, key=latencies.get)
+            print(f"  alltoallw  {label:>14} N={n:<3} -> {winner:<18} ({key})")
+
+    return table
+
+
+def compare_policies(table_path: str, quick: bool = False,
+                     cost: Optional[CostModel] = None):
+    """Replay the nonuniform benches under baseline/optimised/autotuned.
+
+    Returns a :class:`repro.bench.harness.FigureData` with one row per
+    (bench, procs); the ``autotuned`` column must tie-or-beat both fixed
+    configurations on every row (asserted by the CLI / CI).
+    """
+    from repro.apps.allgatherv_bench import allgatherv_benchmark
+    from repro.apps.alltoallw_bench import alltoallw_ring_benchmark
+    from repro.bench.harness import FigureData
+
+    # noise-free by default: the adaptive policy's detection pass draws from
+    # the per-rank noise RNG, so a fair three-way comparison must not let
+    # RNG phase differences swamp the (deterministic) algorithmic deltas
+    cost = cost or CostModel(cpu_noise=0.0)
+    base = MPIConfig.baseline()
+    opt = MPIConfig.optimized()
+    auto = MPIConfig.optimized().with_(
+        selection_policy="autotuned", tuning_table=table_path,
+        name="MVAPICH2-Autotuned",
+    )
+    procs = (8, 16, 32) if quick else (8, 16, 32, 64)
+
+    fig = FigureData(
+        "Autotune", "Autotuned policy vs fixed configs (usec)",
+        ["bench", "procs", "MVAPICH2-0.9.5", "MVAPICH2-New",
+         "MVAPICH2-Autotuned"],
+    )
+    for p in procs:
+        rb = allgatherv_benchmark(p, 4096, base, cost=cost)
+        ro = allgatherv_benchmark(p, 4096, opt, cost=cost)
+        ra = allgatherv_benchmark(p, 4096, auto, cost=cost)
+        assert rb.correct and ro.correct and ra.correct
+        fig.add_row("allgatherv-outlier", p,
+                    rb.latency * 1e6, ro.latency * 1e6, ra.latency * 1e6)
+    for p in procs:
+        rb = alltoallw_ring_benchmark(p, base, cost=cost)
+        ro = alltoallw_ring_benchmark(p, opt, cost=cost)
+        ra = alltoallw_ring_benchmark(p, auto, cost=cost)
+        assert rb.correct and ro.correct and ra.correct
+        fig.add_row("alltoallw-ring", p,
+                    rb.latency * 1e6, ro.latency * 1e6, ra.latency * 1e6)
+    return fig
+
+
+def check_ties_or_beats(fig, tolerance: float = 1e-9) -> List[str]:
+    """Rows where the autotuned column loses to a fixed config."""
+    problems = []
+    for row in fig.rows:
+        bench, procs, base_t, opt_t, auto_t = row
+        limit = min(base_t, opt_t) * (1.0 + tolerance)
+        if auto_t > limit:
+            problems.append(
+                f"{bench} N={procs}: autotuned {auto_t:.3f} us loses to "
+                f"fixed min {min(base_t, opt_t):.3f} us"
+            )
+    return problems

@@ -1,0 +1,53 @@
+"""Shared argument validation for the v-collectives.
+
+``allgatherv``, ``gatherv``, ``scatterv`` and ``alltoallw`` all take a
+per-rank ``counts`` (and optional ``displs``) vector; before this module
+each of them hand-rolled the same checks.  The single normaliser lives
+here so every collective rejects bad arguments with identical messages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def normalize_counts_displs(
+    size: int,
+    counts: Sequence[int],
+    displs: Optional[Sequence[int]] = None,
+    what: str = "counts",
+) -> Tuple[List[int], List[int]]:
+    """Validate ``counts``/``displs`` against a communicator of ``size``.
+
+    Returns ``(counts, displs)`` as plain int lists.  ``displs`` defaults
+    to the dense packing (exclusive prefix sum of ``counts``).  Raises
+    :class:`repro.mpi.comm.MPIError` for a wrong-length vector, a negative
+    count, or a wrong-length ``displs``.
+    """
+    from repro.mpi.comm import MPIError  # local import: avoid cycle
+
+    counts = [int(c) for c in counts]
+    if len(counts) != size:
+        raise MPIError(f"{what} has {len(counts)} entries for {size} ranks")
+    for c in counts:
+        if c < 0:
+            raise MPIError("negative count")
+    if displs is None:
+        displs = np.concatenate(([0], np.cumsum(counts[:-1]))).tolist()
+    displs = [int(d) for d in displs]
+    if len(displs) != size:
+        raise MPIError(f"displs has {len(displs)} entries for {size} ranks")
+    return counts, displs
+
+
+def check_spec_lengths(size: int, sendspecs: Sequence, recvspecs: Sequence) -> None:
+    """Alltoallw-style per-peer spec vectors must have one entry per rank."""
+    from repro.mpi.comm import MPIError  # local import: avoid cycle
+
+    if len(sendspecs) != size or len(recvspecs) != size:
+        raise MPIError(
+            f"alltoallw specs must have {size} entries, got "
+            f"{len(sendspecs)}/{len(recvspecs)}"
+        )

@@ -1,11 +1,19 @@
 """Collective communication algorithms.
 
+Every module registers its candidate implementations with
+:data:`repro.mpi.algorithms.REGISTRY`; *which* one a call gets is decided
+by the configuration's selection policy
+(:mod:`repro.mpi.algorithms.policies`), not inline in these modules.
+
 - :mod:`repro.mpi.collectives.basic` -- barrier (dissemination), bcast
   (binomial tree), allreduce (recursive doubling), gather -- the
   control-plane operations PETSc needs,
-- :mod:`repro.mpi.collectives.allgatherv` -- ring, recursive-doubling,
-  dissemination and the paper's adaptive outlier-detecting variant
-  (section 4.2.1),
+- :mod:`repro.mpi.collectives.allgatherv` -- ring, recursive-doubling and
+  dissemination candidates; the paper's adaptive outlier-detecting rule
+  (section 4.2.1) lives in the ``adaptive`` selection policy,
 - :mod:`repro.mpi.collectives.alltoallw` -- round-robin baseline and the
-  paper's three-bin variant (section 4.2.2).
+  paper's three-bin variant (section 4.2.2),
+- :mod:`repro.mpi.collectives.gather` / ``reduce`` -- the uniform-volume
+  and reduction counterparts (linear gatherv/scatterv, pairwise alltoall,
+  binomial reduce, recursive-doubling allreduce, doubling scan).
 """

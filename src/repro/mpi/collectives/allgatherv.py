@@ -1,6 +1,6 @@
 """``MPI_Allgatherv`` algorithms (paper sections 3.2 and 4.2.1).
 
-Four algorithms are provided:
+Three algorithms register with :data:`repro.mpi.algorithms.REGISTRY`:
 
 ``ring``
     MPICH2's large-message algorithm: N-1 steps around a logical ring, each
@@ -18,15 +18,11 @@ Four algorithms are provided:
     rank i sends everything it holds to rank i + 2^p and receives from rank
     i - 2^p.
 
-``adaptive``
-    The paper's section 4.2.1 design: compute the outlier ratio of the
-    (locally known) volume set with Floyd-Rivest k-select; when a small
-    subset of volumes is far above the bulk, abandon the ring in favour of
-    recursive doubling / dissemination.
-
-The baseline configuration follows MPICH2: recursive doubling (pow-2) or
-dissemination (non-pow-2) for short totals, ring for long totals.  The
-optimised configuration runs the adaptive algorithm.
+*Which* algorithm a call gets is no longer decided here: the entry function
+asks :func:`repro.mpi.algorithms.select`, so the baseline thresholds
+(``mpich`` policy), the paper's section 4.2.1 outlier rule (``adaptive``
+policy, Floyd-Rivest k-select over the volume set) and tuning-table lookups
+(``autotuned``) all share one observable decision point.
 """
 
 from __future__ import annotations
@@ -37,7 +33,8 @@ import numpy as np
 
 from repro.datatypes.packing import TypedBuffer
 from repro.datatypes.typemap import Datatype, HIndexed, Primitive
-from repro.mpi import outlier
+from repro.mpi.algorithms import REGISTRY, SelectionContext, select
+from repro.mpi.algorithms.validation import normalize_counts_displs
 from repro.mpi.comm import Comm, MPIError, as_typed
 from repro.mpi.collectives.basic import _tag_window
 
@@ -46,14 +43,7 @@ def _normalize(comm, sendbuffer, recvbuffer, counts, displs, datatype):
     recvbuffer = np.asarray(recvbuffer)
     if datatype is None:
         datatype = Primitive(str(recvbuffer.dtype).upper(), recvbuffer.dtype)
-    counts = [int(c) for c in counts]
-    if len(counts) != comm.size:
-        raise MPIError(f"counts has {len(counts)} entries for {comm.size} ranks")
-    if any(c < 0 for c in counts):
-        raise MPIError("negative count")
-    if displs is None:
-        displs = np.concatenate(([0], np.cumsum(counts[:-1]))).tolist()
-    displs = [int(d) for d in displs]
+    counts, displs = normalize_counts_displs(comm.size, counts, displs)
     return recvbuffer, datatype, counts, displs
 
 
@@ -113,7 +103,8 @@ def allgatherv(
     """Gather varying-size contributions from every rank onto every rank.
 
     ``algorithm`` forces a specific algorithm (for microbenchmarks); by
-    default the configuration's selection logic runs.
+    default the configuration's selection policy runs
+    (:mod:`repro.mpi.algorithms.policies`).
     """
     recvbuffer, datatype, counts, displs = _normalize(
         comm, sendbuffer, recvbuffer, counts, displs, datatype
@@ -126,58 +117,21 @@ def allgatherv(
             sp.attrs["algorithm"] = "trivial"
             return
 
-        if algorithm is None:
-            total_bytes = sum(counts) * datatype.size
-            if (
-                comm.config.adaptive_allgatherv
-                and total_bytes >= comm.config.allgatherv_long_threshold
-            ):
-                # charge the linear-time Floyd-Rivest detection pass
-                yield from comm.cpu(outlier.detection_cpu_seconds(comm.size),
-                                    "compute")
-            algorithm = _select_algorithm(comm, counts, datatype)
-        sp.attrs["algorithm"] = algorithm
+        ctx = SelectionContext.for_comm(
+            comm, "allgatherv",
+            volumes=[c * datatype.size for c in counts],
+            dtype_size=datatype.size,
+            contiguous=datatype.is_contiguous(),
+        )
+        decision = select(comm, "allgatherv", ctx, algorithm=algorithm)
+        if decision.detect_seconds:
+            # charge the linear-time Floyd-Rivest detection pass
+            yield from comm.cpu(decision.detect_seconds, "compute")
+        sp.attrs["algorithm"] = decision.algorithm
+        sp.attrs["policy"] = decision.policy
 
-        if algorithm == "ring":
-            yield from _ring(comm, recvbuffer, datatype, counts, displs)
-        elif algorithm == "recursive_doubling":
-            yield from _recursive_doubling(comm, recvbuffer, datatype, counts,
-                                           displs)
-        elif algorithm == "dissemination":
-            yield from _dissemination(comm, recvbuffer, datatype, counts, displs)
-        else:
-            raise MPIError(f"unknown allgatherv algorithm {algorithm!r}")
-
-
-def _select_algorithm(comm: Comm, counts, datatype) -> str:
-    """Configuration-dependent algorithm selection."""
-    total_bytes = sum(counts) * datatype.size
-    pow2 = comm.size & (comm.size - 1) == 0
-    tree = "recursive_doubling" if pow2 else "dissemination"
-    if total_bytes < comm.config.allgatherv_long_threshold:
-        return tree  # short-message path, both configurations
-    if comm.config.adaptive_allgatherv:
-        # section 4.2.1: linear-time outlier detection over the volume set
-        # (selection logic is also unit-tested with bare comm stand-ins,
-        # so fall back to the null profiler when no cluster is attached)
-        from repro.prof import NULL_PROFILER
-
-        cluster = getattr(comm, "cluster", None)
-        prof = cluster.profiler if cluster is not None else NULL_PROFILER
-        volumes = [c * datatype.size for c in counts]
-        if prof.enabled:
-            stats = outlier.SelectStats()
-            found = outlier.has_outliers(volumes, comm.cost, stats=stats)
-            prof.count("repro_outlier_checks_total")
-            prof.count("repro_kselect_calls_total", stats.calls)
-            prof.count("repro_kselect_pivot_passes_total", stats.pivot_passes)
-            if found:
-                prof.count("repro_outlier_detected_total")
-        else:
-            found = outlier.has_outliers(volumes, comm.cost)
-        if found:
-            return tree
-    return "ring"
+        impl = REGISTRY.implementation("allgatherv", decision.algorithm)
+        yield from impl(comm, recvbuffer, datatype, counts, displs)
 
 
 def _ring(comm, recvbuffer, datatype, counts, displs) -> Generator:
@@ -250,3 +204,38 @@ def _exchange(comm, stb, dst, rtb, src, tag) -> Generator:
         yield from rreq.wait()
     if sreq is not None:
         yield from sreq.wait()
+
+
+# -- registry entries (alpha-beta estimates are advisory priors) --------------
+
+def _est_ring(ctx: SelectionContext) -> float:
+    c = ctx.cost
+    vmax, total = ctx.max_bytes, ctx.total_bytes
+    return ((ctx.size - 1) * (c.alpha + c.beta * vmax)
+            + c.beta * (total - vmax))
+
+
+def _est_tree(ctx: SelectionContext) -> float:
+    import math
+
+    c = ctx.cost
+    phases = math.ceil(math.log2(max(ctx.size, 2)))
+    return phases * c.alpha + c.beta * ctx.total_bytes
+
+
+REGISTRY.register_fn(
+    "allgatherv", "ring", estimator=_est_ring,
+    description="N-1 hop logical ring (MPICH2 long-message algorithm)",
+)(_ring)
+REGISTRY.register_fn(
+    "allgatherv", "recursive_doubling",
+    predicate=lambda ctx: ctx.pow2 and ctx.contiguous,
+    estimator=_est_tree,
+    description="log2(N) pairwise exchanges; power-of-two, contiguous types",
+)(_recursive_doubling)
+REGISTRY.register_fn(
+    "allgatherv", "dissemination",
+    predicate=lambda ctx: ctx.contiguous,
+    estimator=_est_tree,
+    description="ceil(log2 N) Han-Finkel phases; contiguous element types",
+)(_dissemination)

@@ -5,19 +5,28 @@ exchange a different amount of data described by a different datatype --
 including zero.  PETSc's ``VecScatter`` maps onto exactly this operation
 (nearest-neighbour patterns with zero volume to almost everyone).
 
-Baseline (MPICH2 / MVAPICH2-0.9.5 behaviour per section 3.2):
-    every process posts a receive from and a send to *every* rank -- even
+Two algorithms register with :data:`repro.mpi.algorithms.REGISTRY`:
+
+``round_robin``
+    Baseline (MPICH2 / MVAPICH2-0.9.5 behaviour per section 3.2): every
+    process posts a receive from and a send to *every* rank -- even
     zero-byte pairs, which adds a pure synchronisation step per non-partner
     -- and processes the sends in round-robin rank order, so a large
     noncontiguous message that happens to come first delays every small
     message behind its datatype-processing time.
 
-Optimised (section 4.2.2):
-    each destination is placed in one of three bins -- **zero** (completely
-    exempted: no message, no synchronisation), **small** (below
-    ``cost.small_message_threshold``) and **large**.  Small messages are
-    processed and sent before large ones, so lightly-coupled neighbours are
-    released without waiting behind heavy datatype processing.
+``binned``
+    Optimised (section 4.2.2): each destination is placed in one of three
+    bins -- **zero** (completely exempted: no message, no synchronisation),
+    **small** (below ``cost.small_message_threshold``) and **large**.
+    Small messages are processed and sent before large ones, so
+    lightly-coupled neighbours are released without waiting behind heavy
+    datatype processing.
+
+Which algorithm a call gets is decided by
+:func:`repro.mpi.algorithms.select` (the ``mpich`` policy always picks
+``round_robin``, ``adaptive`` always ``binned``, matching the pre-registry
+``config.binned_alltoallw`` flag dispatch bit for bit).
 """
 
 from __future__ import annotations
@@ -28,6 +37,8 @@ import numpy as np
 
 from repro.datatypes.packing import TypedBuffer
 from repro.datatypes.typemap import BYTE
+from repro.mpi.algorithms import REGISTRY, SelectionContext, select
+from repro.mpi.algorithms.validation import check_spec_lengths
 from repro.mpi.comm import Comm, MPIError
 from repro.mpi.collectives.basic import _tag_window
 from repro.mpi.request import Request
@@ -47,23 +58,23 @@ def alltoallw(
 
     ``sendspecs[i]`` / ``recvspecs[i]`` describe the data exchanged with
     rank ``i`` (``None`` or a zero-count buffer means no data).
+    ``algorithm`` forces a specific algorithm (for microbenchmarks); by
+    default the configuration's selection policy runs.
     """
-    if len(sendspecs) != comm.size or len(recvspecs) != comm.size:
-        raise MPIError(
-            f"alltoallw specs must have {comm.size} entries, got "
-            f"{len(sendspecs)}/{len(recvspecs)}"
-        )
-    if algorithm is None:
-        algorithm = "binned" if comm.config.binned_alltoallw else "round_robin"
+    check_spec_lengths(comm.size, sendspecs, recvspecs)
+    volumes = [_spec_nbytes(s) for s in sendspecs]
     prof = comm.cluster.profiler
-    with prof.span("collective", "alltoallw", comm.grank, algorithm=algorithm,
-                   send_bytes=sum(_spec_nbytes(s) for s in sendspecs)):
-        if algorithm == "round_robin":
-            yield from _round_robin(comm, sendspecs, recvspecs)
-        elif algorithm == "binned":
-            yield from _binned(comm, sendspecs, recvspecs)
-        else:
-            raise MPIError(f"unknown alltoallw algorithm {algorithm!r}")
+    with prof.span("collective", "alltoallw", comm.grank,
+                   send_bytes=sum(volumes)) as sp:
+        ctx = SelectionContext.for_comm(comm, "alltoallw", volumes=volumes)
+        decision = select(comm, "alltoallw", ctx, algorithm=algorithm)
+        if decision.detect_seconds:
+            yield from comm.cpu(decision.detect_seconds, "compute")
+        sp.attrs["algorithm"] = decision.algorithm
+        sp.attrs["policy"] = decision.policy
+
+        impl = REGISTRY.implementation("alltoallw", decision.algorithm)
+        yield from impl(comm, sendspecs, recvspecs)
 
 
 def _local_copy(comm: Comm, sendspecs, recvspecs) -> Generator:
@@ -151,3 +162,27 @@ def _binned(comm: Comm, sendspecs, recvspecs) -> Generator:
 
 def _zero_buffer() -> TypedBuffer:
     return TypedBuffer(np.empty(0, dtype=np.uint8), BYTE, count=0)
+
+
+# -- registry entries (alpha-beta estimates are advisory priors) --------------
+
+def _est_round_robin(ctx: SelectionContext) -> float:
+    c = ctx.cost
+    # one message per peer, zero-byte ones included
+    return (ctx.size - 1) * c.alpha + c.beta * ctx.total_bytes
+
+
+def _est_binned(ctx: SelectionContext) -> float:
+    c = ctx.cost
+    # only nonzero peers cost a message; the zero bin is exempt
+    return ctx.nonzero * c.alpha + c.beta * ctx.total_bytes
+
+
+REGISTRY.register_fn(
+    "alltoallw", "round_robin", estimator=_est_round_robin,
+    description="message to every peer in rank order (MPICH2 baseline)",
+)(_round_robin)
+REGISTRY.register_fn(
+    "alltoallw", "binned", estimator=_est_binned,
+    description="zero bin exempted; small messages sent before large",
+)(_binned)

@@ -1,13 +1,17 @@
 """Typed gather/scatter collectives: gatherv, scatterv, allgather, alltoall.
 
 The uniform-volume counterparts of the paper's headline collectives,
-implemented with the standard MPICH2 algorithms:
+implemented with the standard MPICH2 algorithms and registered with
+:data:`repro.mpi.algorithms.REGISTRY`:
 
 - ``gatherv`` / ``scatterv``: linear to/from the root (MPICH2 uses a
   binomial tree only for the uniform gather; the v-variants are linear),
 - ``allgather``: delegates to the Allgatherv machinery with uniform counts
   (so the ring/recursive-doubling/dissemination selection logic applies),
 - ``alltoall``: pairwise-exchange algorithm for uniform volumes.
+
+Counts/displacement validation is shared with the other v-collectives via
+:func:`repro.mpi.algorithms.validation.normalize_counts_displs`.
 """
 
 from __future__ import annotations
@@ -18,6 +22,8 @@ import numpy as np
 
 from repro.datatypes.packing import TypedBuffer
 from repro.datatypes.typemap import Datatype, Primitive
+from repro.mpi.algorithms import REGISTRY, SelectionContext, select
+from repro.mpi.algorithms.validation import normalize_counts_displs
 from repro.mpi.comm import Comm, MPIError
 from repro.mpi.collectives.basic import _tag_window
 from repro.mpi.request import Request
@@ -38,43 +44,50 @@ def gatherv(
     root: int = 0,
     datatype: Optional[Datatype] = None,
 ) -> Generator:
-    """Gather varying-size contributions at ``root`` (linear algorithm)."""
+    """Gather varying-size contributions at ``root``."""
     if not 0 <= root < comm.size:
         raise MPIError(f"invalid root {root}")
-    send = np.asarray(sendbuf)
     base = _tag_window(comm, op="gatherv", detail=root)
+    decision = select(comm, "gatherv",
+                      SelectionContext.for_comm(comm, "gatherv"))
     with comm.cluster.profiler.span("collective", "gatherv", comm.grank,
-                                    root=root):
-        if comm.rank != root:
-            if send.size:  # zero contributions send nothing (no root recv)
-                req = yield from comm.isend(send, root, base)
-                yield from req.wait()
-            return None
-        if counts is None or recvbuf is None:
-            raise MPIError("root must supply counts and recvbuf")
-        counts = [int(c) for c in counts]
-        if len(counts) != comm.size:
-            raise MPIError(
-                f"counts has {len(counts)} entries for {comm.size} ranks")
-        recv = np.asarray(recvbuf)
-        dt = _dtype_of(recv, datatype)
-        if displs is None:
-            displs = np.concatenate(([0], np.cumsum(counts[:-1]))).tolist()
-        requests = []
-        for src in range(comm.size):
-            if src == root or counts[src] == 0:
-                continue
-            tb = TypedBuffer(recv, dt, counts[src],
-                             offset_bytes=int(displs[src]) * dt.extent)
-            requests.append(comm.irecv(tb, src, base))
-        # own contribution
-        if counts[root]:
-            own = TypedBuffer(recv, dt, counts[root],
-                              offset_bytes=int(displs[root]) * dt.extent)
-            own.unpack(TypedBuffer(send, dt, counts[root]).pack())
-            yield from comm.cpu(counts[root] * dt.size * comm.cost.copy_byte,
-                                "pack")
-        yield from Request.waitall(requests)
+                                    root=root, algorithm=decision.algorithm,
+                                    policy=decision.policy):
+        impl = REGISTRY.implementation("gatherv", decision.algorithm)
+        result = yield from impl(comm, sendbuf, recvbuf, counts, displs,
+                                 root, datatype, base)
+    return result
+
+
+def _gatherv_linear(comm, sendbuf, recvbuf, counts, displs, root, datatype,
+                    base) -> Generator:
+    """Linear gatherv: every contributing rank sends straight to the root."""
+    send = np.asarray(sendbuf)
+    if comm.rank != root:
+        if send.size:  # zero contributions send nothing (no root recv)
+            req = yield from comm.isend(send, root, base)
+            yield from req.wait()
+        return None
+    if counts is None or recvbuf is None:
+        raise MPIError("root must supply counts and recvbuf")
+    counts, displs = normalize_counts_displs(comm.size, counts, displs)
+    recv = np.asarray(recvbuf)
+    dt = _dtype_of(recv, datatype)
+    requests = []
+    for src in range(comm.size):
+        if src == root or counts[src] == 0:
+            continue
+        tb = TypedBuffer(recv, dt, counts[src],
+                         offset_bytes=displs[src] * dt.extent)
+        requests.append(comm.irecv(tb, src, base))
+    # own contribution
+    if counts[root]:
+        own = TypedBuffer(recv, dt, counts[root],
+                          offset_bytes=displs[root] * dt.extent)
+        own.unpack(TypedBuffer(send, dt, counts[root]).pack())
+        yield from comm.cpu(counts[root] * dt.size * comm.cost.copy_byte,
+                            "pack")
+    yield from Request.waitall(requests)
     return recv
 
 
@@ -87,43 +100,50 @@ def scatterv(
     root: int = 0,
     datatype: Optional[Datatype] = None,
 ) -> Generator:
-    """Scatter varying-size pieces from ``root`` (linear algorithm)."""
+    """Scatter varying-size pieces from ``root``."""
     if not 0 <= root < comm.size:
         raise MPIError(f"invalid root {root}")
     base = _tag_window(comm, op="scatterv", detail=root)
     if recvbuf is None:
         raise MPIError("every rank must supply recvbuf")
-    recv = np.asarray(recvbuf)
+    decision = select(comm, "scatterv",
+                      SelectionContext.for_comm(comm, "scatterv"))
     with comm.cluster.profiler.span("collective", "scatterv", comm.grank,
-                                    root=root):
-        if comm.rank != root:
-            if recv.size:  # zero pieces are never sent by the root
-                yield from comm.recv(recv, root, base)
-            return recv
-        if counts is None or sendbuf is None:
-            raise MPIError("root must supply counts and sendbuf")
-        counts = [int(c) for c in counts]
-        if len(counts) != comm.size:
-            raise MPIError(
-                f"counts has {len(counts)} entries for {comm.size} ranks")
-        send = np.asarray(sendbuf)
-        dt = _dtype_of(send, datatype)
-        if displs is None:
-            displs = np.concatenate(([0], np.cumsum(counts[:-1]))).tolist()
-        requests = []
-        for dst in range(comm.size):
-            if dst == root or counts[dst] == 0:
-                continue
-            tb = TypedBuffer(send, dt, counts[dst],
-                             offset_bytes=int(displs[dst]) * dt.extent)
-            requests.append((yield from comm.isend(tb, dst, base)))
-        if counts[root]:
-            own = TypedBuffer(send, dt, counts[root],
-                              offset_bytes=int(displs[root]) * dt.extent)
-            TypedBuffer(recv, dt, counts[root]).unpack(own.pack())
-            yield from comm.cpu(counts[root] * dt.size * comm.cost.copy_byte,
-                                "pack")
-        yield from Request.waitall(requests)
+                                    root=root, algorithm=decision.algorithm,
+                                    policy=decision.policy):
+        impl = REGISTRY.implementation("scatterv", decision.algorithm)
+        result = yield from impl(comm, sendbuf, counts, displs, recvbuf,
+                                 root, datatype, base)
+    return result
+
+
+def _scatterv_linear(comm, sendbuf, counts, displs, recvbuf, root, datatype,
+                     base) -> Generator:
+    """Linear scatterv: the root sends each piece straight to its rank."""
+    recv = np.asarray(recvbuf)
+    if comm.rank != root:
+        if recv.size:  # zero pieces are never sent by the root
+            yield from comm.recv(recv, root, base)
+        return recv
+    if counts is None or sendbuf is None:
+        raise MPIError("root must supply counts and sendbuf")
+    counts, displs = normalize_counts_displs(comm.size, counts, displs)
+    send = np.asarray(sendbuf)
+    dt = _dtype_of(send, datatype)
+    requests = []
+    for dst in range(comm.size):
+        if dst == root or counts[dst] == 0:
+            continue
+        tb = TypedBuffer(send, dt, counts[dst],
+                         offset_bytes=displs[dst] * dt.extent)
+        requests.append((yield from comm.isend(tb, dst, base)))
+    if counts[root]:
+        own = TypedBuffer(send, dt, counts[root],
+                          offset_bytes=displs[root] * dt.extent)
+        TypedBuffer(recv, dt, counts[root]).unpack(own.pack())
+        yield from comm.cpu(counts[root] * dt.size * comm.cost.copy_byte,
+                            "pack")
+    yield from Request.waitall(requests)
     return recv
 
 
@@ -151,35 +171,71 @@ def alltoall(
     count: int,
     datatype: Optional[Datatype] = None,
 ) -> Generator:
-    """Uniform all-to-all via the pairwise-exchange algorithm: in step k,
-    rank r exchanges with rank ``r XOR k`` (power-of-two sizes) or with
-    ``(r + k) % N`` / ``(r - k) % N`` otherwise."""
+    """Uniform all-to-all (pairwise-exchange algorithm)."""
     send = np.asarray(sendbuf)
     recv = np.asarray(recvbuf)
     dt = _dtype_of(recv, datatype)
-    n, rank = comm.size, comm.rank
+    n = comm.size
     if send.size < n * count or recv.size < n * count:
         raise MPIError("alltoall buffers too small for count*size elements")
     base = _tag_window(comm, op="alltoall", detail=count)
+    ctx = SelectionContext.for_comm(
+        comm, "alltoall", volumes=[count * dt.size] * n,
+        dtype_size=dt.size, contiguous=dt.is_contiguous(),
+    )
+    decision = select(comm, "alltoall", ctx)
+    with comm.cluster.profiler.span("collective", "alltoall", comm.grank,
+                                    count=count, algorithm=decision.algorithm,
+                                    policy=decision.policy):
+        impl = REGISTRY.implementation("alltoall", decision.algorithm)
+        yield from impl(comm, send, recv, count, dt, base)
+    return recv
+
+
+def _alltoall_pairwise(comm, send, recv, count, dt, base) -> Generator:
+    """Pairwise exchange: in step k, rank r exchanges with rank ``r XOR k``
+    (power-of-two sizes) or with ``(r + k) % N`` / ``(r - k) % N``."""
+    n, rank = comm.size, comm.rank
 
     def block(arr, idx):
         return TypedBuffer(arr, dt, count, offset_bytes=idx * count * dt.extent)
 
     # local block
-    with comm.cluster.profiler.span("collective", "alltoall", comm.grank,
-                                    count=count):
-        block(recv, rank).unpack(block(send, rank).pack())
-        yield from comm.cpu(count * dt.size * comm.cost.copy_byte, "pack")
-        pow2 = n & (n - 1) == 0
-        for k in range(1, n):
-            if pow2:
-                peer = rank ^ k
-                sdst = rdst = peer
-            else:
-                sdst = (rank + k) % n
-                rdst = (rank - k) % n
-            rreq = comm.irecv(block(recv, rdst), rdst, base + k)
-            sreq = yield from comm.isend(block(send, sdst), sdst, base + k)
-            yield from rreq.wait()
-            yield from sreq.wait()
-    return recv
+    block(recv, rank).unpack(block(send, rank).pack())
+    yield from comm.cpu(count * dt.size * comm.cost.copy_byte, "pack")
+    pow2 = n & (n - 1) == 0
+    for k in range(1, n):
+        if pow2:
+            peer = rank ^ k
+            sdst = rdst = peer
+        else:
+            sdst = (rank + k) % n
+            rdst = (rank - k) % n
+        rreq = comm.irecv(block(recv, rdst), rdst, base + k)
+        sreq = yield from comm.isend(block(send, sdst), sdst, base + k)
+        yield from rreq.wait()
+        yield from sreq.wait()
+
+
+# -- registry entries (alpha-beta estimates are advisory priors) --------------
+
+def _est_linear_root(ctx: SelectionContext) -> float:
+    return (ctx.size - 1) * ctx.cost.alpha + ctx.cost.beta * ctx.total_bytes
+
+
+def _est_pairwise(ctx: SelectionContext) -> float:
+    return (ctx.size - 1) * ctx.cost.alpha + ctx.cost.beta * ctx.total_bytes
+
+
+REGISTRY.register_fn(
+    "gatherv", "linear", estimator=_est_linear_root,
+    description="every contributing rank sends straight to the root",
+)(_gatherv_linear)
+REGISTRY.register_fn(
+    "scatterv", "linear", estimator=_est_linear_root,
+    description="the root sends each piece straight to its rank",
+)(_scatterv_linear)
+REGISTRY.register_fn(
+    "alltoall", "pairwise", estimator=_est_pairwise,
+    description="N-1 pairwise exchange steps (XOR schedule for pow-2 N)",
+)(_alltoall_pairwise)

@@ -3,12 +3,13 @@
 These complement the control-plane object collectives in
 :mod:`repro.mpi.collectives.basic` with array reductions used by solvers
 and assembly (e.g. summing overlapping matrix contributions).  Algorithms
-are the standard MPICH2 ones:
+are the standard MPICH2 ones, registered with
+:data:`repro.mpi.algorithms.REGISTRY`:
 
-- ``reduce``: binomial tree (message size constant per hop),
-- ``allreduce_array``: recursive doubling with the non-power-of-two
+- ``reduce``: ``binomial`` tree (message size constant per hop),
+- ``allreduce_array``: ``recursive_doubling`` with the non-power-of-two
   pre/post fold,
-- ``scan``: inclusive prefix reduction, sequential-doubling pattern.
+- ``scan``: inclusive prefix reduction, sequential-``doubling`` pattern.
 
 All operate elementwise on float64 arrays with a commutative-associative
 numpy ufunc (``np.add`` by default).
@@ -16,10 +17,12 @@ numpy ufunc (``np.add`` by default).
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Generator
 
 import numpy as np
 
+from repro.mpi.algorithms import REGISTRY, SelectionContext, select
 from repro.mpi.comm import Comm, MPIError
 from repro.mpi.collectives.basic import _tag_window
 
@@ -31,9 +34,16 @@ def _check_buf(buf) -> np.ndarray:
     return arr
 
 
+def _ctx(comm: Comm, collective: str, send: np.ndarray) -> SelectionContext:
+    return SelectionContext.for_comm(
+        comm, collective, volumes=[send.nbytes] * comm.size,
+        dtype_size=send.itemsize,
+    )
+
+
 def reduce(comm: Comm, sendbuf, recvbuf=None, op: Callable = np.add,
            root: int = 0) -> Generator:
-    """Elementwise reduction to ``root`` (binomial tree).
+    """Elementwise reduction to ``root``.
 
     On ``root``, ``recvbuf`` receives the result (a fresh array is returned
     if not supplied); other ranks return None.
@@ -42,27 +52,14 @@ def reduce(comm: Comm, sendbuf, recvbuf=None, op: Callable = np.add,
         raise MPIError(f"invalid root {root}")
     send = _check_buf(sendbuf)
     base = _tag_window(comm, op="reduce", detail=root)
-    n, rank = comm.size, comm.rank
-    rel = (rank - root) % n
-    acc = send.copy()
+    decision = select(comm, "reduce", _ctx(comm, "reduce", send))
     with comm.cluster.profiler.span("collective", "reduce", comm.grank,
-                                    root=root, nbytes=send.nbytes):
-        mask = 1
-        while mask < n:
-            if rel & mask:
-                parent = (rank - mask) % n
-                req = yield from comm.isend(acc, parent, base)
-                yield from req.wait()
-                acc = None
-                break
-            # receive from the child at distance `mask`, if it exists
-            if rel + mask < n:
-                child = (rank + mask) % n
-                incoming = np.empty_like(send)
-                yield from comm.recv(incoming, child, base)
-                acc = op(acc, incoming)
-            mask <<= 1
-    if rank != root:
+                                    root=root, nbytes=send.nbytes,
+                                    algorithm=decision.algorithm,
+                                    policy=decision.policy):
+        impl = REGISTRY.implementation("reduce", decision.algorithm)
+        acc = yield from impl(comm, send, op, root, base)
+    if comm.rank != root:
         return None
     if recvbuf is None:
         return acc
@@ -71,54 +68,45 @@ def reduce(comm: Comm, sendbuf, recvbuf=None, op: Callable = np.add,
     return out
 
 
+def _reduce_binomial(comm, send, op, root, base) -> Generator:
+    """Binomial-tree reduction; returns the accumulator (root only)."""
+    n, rank = comm.size, comm.rank
+    rel = (rank - root) % n
+    acc = send.copy()
+    mask = 1
+    while mask < n:
+        if rel & mask:
+            parent = (rank - mask) % n
+            req = yield from comm.isend(acc, parent, base)
+            yield from req.wait()
+            acc = None
+            break
+        # receive from the child at distance `mask`, if it exists
+        if rel + mask < n:
+            child = (rank + mask) % n
+            incoming = np.empty_like(send)
+            yield from comm.recv(incoming, child, base)
+            acc = op(acc, incoming)
+        mask <<= 1
+    return acc
+
+
 def allreduce_array(comm: Comm, sendbuf, recvbuf=None,
                     op: Callable = np.add) -> Generator:
-    """Elementwise allreduce (recursive doubling with pre/post fold)."""
+    """Elementwise allreduce over float64 arrays."""
     send = _check_buf(sendbuf)
     base = _tag_window(comm, op="allreduce_array")
-    n, rank = comm.size, comm.rank
     acc = send.copy()
-    if n > 1:
+    if comm.size > 1:
+        decision = select(comm, "allreduce_array",
+                          _ctx(comm, "allreduce_array", send))
         with comm.cluster.profiler.span("collective", "allreduce_array",
-                                        comm.grank, nbytes=send.nbytes):
-            p2 = 1
-            while p2 * 2 <= n:
-                p2 *= 2
-            extra = n - p2
-            if rank < 2 * extra:
-                if rank % 2 == 0:
-                    req = yield from comm.isend(acc, rank + 1, base)
-                    yield from req.wait()
-                    newrank = -1
-                else:
-                    incoming = np.empty_like(acc)
-                    yield from comm.recv(incoming, rank - 1, base)
-                    acc = op(acc, incoming)
-                    newrank = rank // 2
-            else:
-                newrank = rank - extra
-            if newrank >= 0:
-                mask = 1
-                k = 1
-                while mask < p2:
-                    partner_new = newrank ^ mask
-                    partner = (partner_new * 2 + 1 if partner_new < extra
-                               else partner_new + extra)
-                    incoming = np.empty_like(acc)
-                    rreq = comm.irecv(incoming, partner, base + k)
-                    sreq = yield from comm.isend(acc, partner, base + k)
-                    yield from rreq.wait()
-                    yield from sreq.wait()
-                    acc = op(acc, incoming)
-                    mask <<= 1
-                    k += 1
-            if rank < 2 * extra:
-                if rank % 2 == 0:
-                    acc = np.empty_like(send)
-                    yield from comm.recv(acc, rank + 1, base + 60)
-                else:
-                    req = yield from comm.isend(acc, rank - 1, base + 60)
-                    yield from req.wait()
+                                        comm.grank, nbytes=send.nbytes,
+                                        algorithm=decision.algorithm,
+                                        policy=decision.policy):
+            impl = REGISTRY.implementation("allreduce_array",
+                                           decision.algorithm)
+            acc = yield from impl(comm, send, op, base)
     if recvbuf is None:
         return acc
     out = _check_buf(recvbuf)
@@ -126,38 +114,111 @@ def allreduce_array(comm: Comm, sendbuf, recvbuf=None,
     return out
 
 
-def scan(comm: Comm, sendbuf, recvbuf=None, op: Callable = np.add) -> Generator:
-    """Inclusive prefix reduction: rank r gets op(send_0, ..., send_r).
+def _allreduce_rd_array(comm, send, op, base) -> Generator:
+    """Recursive doubling with the non-power-of-two pre/post fold."""
+    n, rank = comm.size, comm.rank
+    acc = send.copy()
+    p2 = 1
+    while p2 * 2 <= n:
+        p2 *= 2
+    extra = n - p2
+    if rank < 2 * extra:
+        if rank % 2 == 0:
+            req = yield from comm.isend(acc, rank + 1, base)
+            yield from req.wait()
+            newrank = -1
+        else:
+            incoming = np.empty_like(acc)
+            yield from comm.recv(incoming, rank - 1, base)
+            acc = op(acc, incoming)
+            newrank = rank // 2
+    else:
+        newrank = rank - extra
+    if newrank >= 0:
+        mask = 1
+        k = 1
+        while mask < p2:
+            partner_new = newrank ^ mask
+            partner = (partner_new * 2 + 1 if partner_new < extra
+                       else partner_new + extra)
+            incoming = np.empty_like(acc)
+            rreq = comm.irecv(incoming, partner, base + k)
+            sreq = yield from comm.isend(acc, partner, base + k)
+            yield from rreq.wait()
+            yield from sreq.wait()
+            acc = op(acc, incoming)
+            mask <<= 1
+            k += 1
+    if rank < 2 * extra:
+        if rank % 2 == 0:
+            acc = np.empty_like(send)
+            yield from comm.recv(acc, rank + 1, base + 60)
+        else:
+            req = yield from comm.isend(acc, rank - 1, base + 60)
+            yield from req.wait()
+    return acc
 
-    Standard doubling algorithm: in phase p, rank r sends its *total* so
-    far to rank r + 2^p and folds what it receives from rank r - 2^p into
-    both its prefix and its total.
-    """
+
+def scan(comm: Comm, sendbuf, recvbuf=None, op: Callable = np.add) -> Generator:
+    """Inclusive prefix reduction: rank r gets op(send_0, ..., send_r)."""
     send = _check_buf(sendbuf)
     base = _tag_window(comm, op="scan")
-    n, rank = comm.size, comm.rank
-    prefix = send.copy()
-    total = send.copy()
+    decision = select(comm, "scan", _ctx(comm, "scan", send))
     with comm.cluster.profiler.span("collective", "scan", comm.grank,
-                                    nbytes=send.nbytes):
-        dist = 1
-        phase = 0
-        while dist < n:
-            reqs = []
-            if rank + dist < n:
-                reqs.append((yield from comm.isend(total, rank + dist,
-                                                   base + phase)))
-            if rank - dist >= 0:
-                incoming = np.empty_like(send)
-                yield from comm.recv(incoming, rank - dist, base + phase)
-                prefix = op(incoming, prefix)
-                total = op(incoming, total)
-            for req in reqs:
-                yield from req.wait()
-            dist <<= 1
-            phase += 1
+                                    nbytes=send.nbytes,
+                                    algorithm=decision.algorithm,
+                                    policy=decision.policy):
+        impl = REGISTRY.implementation("scan", decision.algorithm)
+        prefix = yield from impl(comm, send, op, base)
     if recvbuf is None:
         return prefix
     out = _check_buf(recvbuf)
     out[:] = prefix
     return out
+
+
+def _scan_doubling(comm, send, op, base) -> Generator:
+    """Standard doubling scan: in phase p, rank r sends its *total* so far
+    to rank r + 2^p and folds what it receives from rank r - 2^p into both
+    its prefix and its total."""
+    n, rank = comm.size, comm.rank
+    prefix = send.copy()
+    total = send.copy()
+    dist = 1
+    phase = 0
+    while dist < n:
+        reqs = []
+        if rank + dist < n:
+            reqs.append((yield from comm.isend(total, rank + dist,
+                                               base + phase)))
+        if rank - dist >= 0:
+            incoming = np.empty_like(send)
+            yield from comm.recv(incoming, rank - dist, base + phase)
+            prefix = op(incoming, prefix)
+            total = op(incoming, total)
+        for req in reqs:
+            yield from req.wait()
+        dist <<= 1
+        phase += 1
+    return prefix
+
+
+# -- registry entries (alpha-beta estimates are advisory priors) --------------
+
+def _est_log_tree(ctx: SelectionContext) -> float:
+    phases = math.ceil(math.log2(max(ctx.size, 2)))
+    return phases * (ctx.cost.alpha + ctx.cost.beta * ctx.max_bytes)
+
+
+REGISTRY.register_fn(
+    "reduce", "binomial", estimator=_est_log_tree,
+    description="binomial tree; constant message size per hop",
+)(_reduce_binomial)
+REGISTRY.register_fn(
+    "allreduce_array", "recursive_doubling", estimator=_est_log_tree,
+    description="recursive doubling with non-power-of-two pre/post fold",
+)(_allreduce_rd_array)
+REGISTRY.register_fn(
+    "scan", "doubling", estimator=_est_log_tree,
+    description="inclusive prefix reduction, sequential-doubling pattern",
+)(_scan_doubling)

@@ -656,17 +656,20 @@ class Comm:
         counts: Sequence[int],
         displs: Optional[Sequence[int]] = None,
         datatype: Optional[Datatype] = None,
+        algorithm: Optional[str] = None,
     ) -> Generator:
         from repro.mpi.collectives.allgatherv import allgatherv
-        yield from allgatherv(self, sendbuffer, recvbuffer, counts, displs, datatype)
+        yield from allgatherv(self, sendbuffer, recvbuffer, counts, displs,
+                              datatype, algorithm=algorithm)
 
     def alltoallw(
         self,
         sendspecs: Sequence[Optional[TypedBuffer]],
         recvspecs: Sequence[Optional[TypedBuffer]],
+        algorithm: Optional[str] = None,
     ) -> Generator:
         from repro.mpi.collectives.alltoallw import alltoallw
-        yield from alltoallw(self, sendspecs, recvspecs)
+        yield from alltoallw(self, sendspecs, recvspecs, algorithm=algorithm)
 
     def reduce(self, sendbuf, recvbuf=None, op=None, root: int = 0) -> Generator:
         from repro.mpi.collectives.reduce import reduce as _reduce

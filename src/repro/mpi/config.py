@@ -3,11 +3,26 @@
 Every optimisation the paper proposes is an independent toggle so the
 benchmark suite can measure each one's contribution separately
 (``benchmarks/test_ablations.py``).
+
+Collective-algorithm selection is governed by :attr:`MPIConfig.selection_policy`
+(see :mod:`repro.mpi.algorithms`):
+
+- ``None`` (the default) derives the policy from the feature flags, so
+  ``baseline()`` resolves to the ``mpich`` policy and ``optimized()`` to the
+  ``adaptive`` policy -- bit-for-bit the pre-registry decision logic -- and
+  ablation configs with mixed flags keep their per-collective behaviour,
+- ``"mpich"`` forces the stock MPICH2 selection thresholds everywhere,
+- ``"adaptive"`` forces the paper's section 4.2 rules everywhere,
+- ``"autotuned"`` consults the tuning table at :attr:`tuning_table`
+  (``python -m repro.bench --autotune`` regenerates it),
+- ``"fixed:<name>"`` pins every collective that registers an algorithm of
+  that name (microbenchmarks).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -34,9 +49,19 @@ class MPIConfig:
     #: algorithm (the "large message" regime of section 3.2)
     allgatherv_long_threshold: int = 16 * 1024
 
+    #: collective-algorithm selection policy (see repro.mpi.algorithms);
+    #: None derives mpich/adaptive behaviour from the flags above
+    selection_policy: Optional[str] = None
+
+    #: path to a tuning-table JSON for the ``autotuned`` policy
+    tuning_table: Optional[str] = None
+
     @classmethod
     def baseline(cls) -> "MPIConfig":
-        """Stock MVAPICH2-0.9.5 / MPICH2 behaviour (the paper's baseline)."""
+        """Stock MVAPICH2-0.9.5 / MPICH2 behaviour (the paper's baseline).
+
+        With all flags off the derived selection policy is ``mpich``.
+        """
         return cls(
             name="MVAPICH2-0.9.5",
             dual_context_engine=False,
@@ -46,7 +71,10 @@ class MPIConfig:
 
     @classmethod
     def optimized(cls) -> "MPIConfig":
-        """All of the paper's optimisations enabled ("MVAPICH2-New")."""
+        """All of the paper's optimisations enabled ("MVAPICH2-New").
+
+        With all flags on the derived selection policy is ``adaptive``.
+        """
         return cls(
             name="MVAPICH2-New",
             dual_context_engine=True,
@@ -55,5 +83,27 @@ class MPIConfig:
         )
 
     def with_(self, **kwargs) -> "MPIConfig":
-        """A copy with selected flags replaced (for ablation studies)."""
-        return replace(self, **kwargs)
+        """A copy with selected fields replaced (for ablation studies).
+
+        When boolean feature flags change and no explicit ``name`` is
+        supplied, the copy's name gains a ``+flag``/``-flag`` suffix per
+        changed flag (in field-declaration order), so ablation bench rows
+        derived from the same parent stay unambiguous::
+
+            >>> MPIConfig.baseline().with_(adaptive_allgatherv=True).name
+            'MVAPICH2-0.9.5+adaptive_allgatherv'
+        """
+        new = replace(self, **kwargs)
+        if "name" not in kwargs:
+            suffix = ""
+            for f in fields(self):
+                if f.name not in kwargs:
+                    continue
+                old_value = getattr(self, f.name)
+                new_value = getattr(new, f.name)
+                if (isinstance(old_value, bool) and isinstance(new_value, bool)
+                        and old_value != new_value):
+                    suffix += ("+" if new_value else "-") + f.name
+            if suffix:
+                new = replace(new, name=self.name + suffix)
+        return new

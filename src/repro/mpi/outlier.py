@@ -43,9 +43,12 @@ def outlier_ratio(volumes: Sequence[int], outlier_fraction: float,
         raise ValueError("empty volume set")
     if not 0.0 < outlier_fraction < 1.0:
         raise ValueError(f"outlier_fraction must be in (0, 1), got {outlier_fraction}")
-    vmax = k_select(volumes, n, stats=stats)
     if n == 1:
+        # a single volume can never be an outlier; skip the k-select pass
+        # entirely so ``stats`` (and the adaptive policy's cost accounting)
+        # reflects zero selection work
         return 1.0
+    vmax = k_select(volumes, n, stats=stats)
     # the bulk's upper edge excludes at least one candidate outlier, and at
     # most an OUTLIER_FRACT fraction of the set
     n_outliers = max(1, math.floor(n * outlier_fraction))

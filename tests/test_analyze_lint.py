@@ -102,6 +102,31 @@ def test_lnt005_time_sleep():
     """) == ["LNT005"]
 
 
+def test_lnt006_concrete_algorithm_import():
+    source = """
+        from repro.mpi.collectives.allgatherv import _ring
+    """
+    assert rules_of(source) == ["LNT006"]
+    # the public entry functions stay importable
+    assert rules_of("""
+        from repro.mpi.collectives.allgatherv import allgatherv
+    """) == []
+    # infra helpers that are not algorithms stay importable
+    assert rules_of("""
+        from repro.mpi.collectives.basic import _tag_window
+    """) == []
+
+
+def test_lnt006_exempts_the_algorithm_subsystem():
+    source = textwrap.dedent("""
+        from repro.mpi.collectives.alltoallw import _binned
+    """)
+    report = lint_source(source, path="src/repro/mpi/algorithms/policies.py")
+    assert sorted(f.rule for f in report) == []
+    report = lint_source(source, path="src/repro/petsc/scatter.py")
+    assert sorted(f.rule for f in report) == ["LNT006"]
+
+
 def test_lint_syntax_error_propagates():
     with pytest.raises(SyntaxError):
         lint_source("def broken(:\n")

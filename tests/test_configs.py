@@ -26,6 +26,41 @@ def test_config_with_creates_modified_copy():
     assert not base.dual_context_engine  # original untouched
 
 
+def test_with_appends_flag_suffix_to_name():
+    base = MPIConfig.baseline()
+    assert base.with_(adaptive_allgatherv=True).name == \
+        "MVAPICH2-0.9.5+adaptive_allgatherv"
+    assert MPIConfig.optimized().with_(binned_alltoallw=False).name == \
+        "MVAPICH2-New-binned_alltoallw"
+    # multiple changed flags: suffixes in field-declaration order
+    both = base.with_(binned_alltoallw=True, adaptive_allgatherv=True)
+    assert both.name == "MVAPICH2-0.9.5+adaptive_allgatherv+binned_alltoallw"
+
+
+def test_with_suffix_skips_unchanged_and_nonflag_fields():
+    base = MPIConfig.baseline()
+    # passing the current value is not a change
+    assert base.with_(adaptive_allgatherv=False).name == base.name
+    # non-boolean fields never rename
+    assert base.with_(eager_threshold=1).name == base.name
+    assert base.with_(selection_policy="adaptive").name == base.name
+
+
+def test_with_explicit_name_wins():
+    cfg = MPIConfig.baseline().with_(adaptive_allgatherv=True, name="Custom")
+    assert cfg.name == "Custom"
+
+
+def test_selection_policy_defaults():
+    assert MPIConfig.baseline().selection_policy is None
+    assert MPIConfig.optimized().selection_policy is None
+    assert MPIConfig.baseline().tuning_table is None
+    auto = MPIConfig.optimized().with_(selection_policy="autotuned",
+                                       tuning_table="table.json")
+    assert auto.selection_policy == "autotuned"
+    assert auto.tuning_table == "table.json"
+
+
 def test_config_is_frozen():
     with pytest.raises(dataclasses.FrozenInstanceError):
         MPIConfig.baseline().eager_threshold = 0

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.mpi import Cluster, MPIConfig
-from repro.mpi.collectives.allgatherv import _select_algorithm
+from repro.mpi.algorithms import SelectionContext, select
 from repro.util import CostModel
 
 QUIET = CostModel(cpu_noise=0.0)
@@ -24,16 +24,7 @@ def run_allgatherv(n, counts, config, algorithm=None, seed=0):
         yield from comm.allgatherv(send, recv, counts, displs, algorithm=algorithm)
         return recv
 
-    # Comm.allgatherv has no algorithm kwarg; call the function directly
-    from repro.mpi.collectives.allgatherv import allgatherv
-
-    def main2(comm):
-        send = np.full(counts[comm.rank], float(comm.rank + 1))
-        recv = np.zeros(total)
-        yield from allgatherv(comm, send, recv, counts, displs, algorithm=algorithm)
-        return recv
-
-    results = cluster.run(main2)
+    results = cluster.run(main)
     return results, cluster.elapsed
 
 
@@ -121,6 +112,17 @@ class _FakeComm:
         self.cost = cost
 
 
+def _select_algorithm(comm, counts, dtype):
+    """The pre-registry helper, reconstructed on the policy layer."""
+    ctx = SelectionContext.for_comm(
+        comm, "allgatherv",
+        volumes=[c * dtype.size for c in counts],
+        dtype_size=dtype.size,
+        contiguous=dtype.is_contiguous(),
+    )
+    return select(comm, "allgatherv", ctx).algorithm
+
+
 def test_selection_logic():
     from repro.datatypes import DOUBLE
 
@@ -142,6 +144,10 @@ def test_selection_logic():
     # non-power-of-two world uses dissemination
     opt5 = _FakeComm(5, MPIConfig.optimized(), QUIET)
     assert _select_algorithm(opt5, [32768, 1, 1, 1, 1], DOUBLE) == "dissemination"
+    # an explicit selection_policy overrides the feature flags
+    pinned = _FakeComm(8, MPIConfig.baseline().with_(
+        selection_policy="adaptive"), QUIET)
+    assert _select_algorithm(pinned, outlier_large, DOUBLE) == "recursive_doubling"
 
 
 def test_default_selection_runs_inside_collective():

@@ -48,6 +48,21 @@ def test_small_sets():
     assert outlier_ratio([1, 1000], 0.125) == 1000.0
 
 
+def test_singleton_skips_kselect_entirely():
+    """n==1 short-circuits BEFORE any Floyd-Rivest pass, so the stats
+    (and the adaptive policy's cost accounting) record zero work."""
+    from repro.util.kselect import SelectStats
+
+    stats = SelectStats()
+    assert outlier_ratio([12345], 0.125, stats=stats) == 1.0
+    assert stats.calls == 0
+    assert stats.pivot_passes == 0
+    # a two-element set does run k-select and the stats show it
+    stats = SelectStats()
+    assert outlier_ratio([1, 2], 0.125, stats=stats) == 2.0
+    assert stats.calls == 2
+
+
 def test_empty_set_rejected():
     with pytest.raises(ValueError):
         outlier_ratio([], 0.125)
