@@ -1,6 +1,6 @@
 """MUST-style MPI correctness analyzer for the simulated stack.
 
-Three layers, one finding currency (:class:`Finding` / :class:`Report`):
+Four layers, one finding currency (:class:`Finding` / :class:`Report`):
 
 ``repro.analyze.signatures``
     Static datatype analysis built on typemap flattening: send/receive
@@ -15,13 +15,22 @@ Three layers, one finding currency (:class:`Finding` / :class:`Report`):
 
 ``repro.analyze.lint``
     AST rules over project and example code: bare excepts, O(N^2) block
-    rescans, ``yield from`` discipline (LNT001-LNT005).
+    rescans, ``yield from`` discipline (LNT001-LNT006).
+
+``repro.analyze.dataflow``
+    CFG + fixpoint dataflow passes: request lifetime (REQ1xx), buffer
+    use-after-isend (BUF1xx), SPMD rank divergence (SPMD1xx) and static
+    communication-plan extraction (PLAN1xx).
 
 Shell entry point::
 
     python -m repro.analyze --lint src
+    python -m repro.analyze --dataflow src examples
+    python -m repro.analyze --dataflow --format sarif -o out.sarif src
     python -m repro.analyze --run examples/ghost_exchange_2d.py
 
+Findings on any line can be silenced with an inline
+``# analyze: ignore[CODE]`` comment (see :mod:`repro.analyze.suppress`).
 The rule catalogue is documented in ``docs/ANALYZE.md``.
 """
 
@@ -35,6 +44,7 @@ from repro.analyze.signatures import (
     render_signature,
     signature_prefix,
 )
+from repro.analyze.suppress import Suppressions, collect_suppressions
 
 __all__ = [
     "RULES",
@@ -42,8 +52,10 @@ __all__ = [
     "Finding",
     "Report",
     "RuntimeVerifier",
+    "Suppressions",
     "check_datatype",
     "check_transfer",
+    "collect_suppressions",
     "full_signature",
     "lint_file",
     "lint_paths",

@@ -6,6 +6,11 @@ Modes (combinable):
     Lint every ``.py`` file under the given files/directories
     (LNT rules).  Exit code 1 if anything actionable is found.
 
+``python -m repro.analyze --dataflow src examples``
+    Additionally run the CFG/fixpoint dataflow passes (REQ1xx request
+    lifetime, BUF1xx buffer aliasing, SPMD1xx rank divergence, PLAN1xx
+    static communication plans).
+
 ``python -m repro.analyze examples/ghost_exchange_2d.py``
     Same as ``--lint`` for the named script (scripts are linted by
     default).
@@ -15,6 +20,14 @@ Modes (combinable):
     creates instrumented by a :class:`RuntimeVerifier`, then report
     runtime findings (deadlocks, leaked requests, signature mismatches,
     collective inconsistencies, zero-byte audits).
+
+Output:
+
+``--format text|json|sarif`` selects the emitter (JSON carries the
+extracted communication plans; SARIF 2.1.0 feeds CI annotations);
+``--output FILE`` writes the machine-readable document to a file while
+keeping the human-readable summary on stdout.  Inline
+``# analyze: ignore[CODE]`` comments suppress findings per line.
 """
 
 from __future__ import annotations
@@ -69,23 +82,41 @@ def _run_verified(script: str, report: Report) -> None:
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analyze",
-        description="MPI correctness analyzer: lint, static signature "
-                    "checks and runtime verification.",
+        description="MPI correctness analyzer: lint, CFG/dataflow "
+                    "analysis, static signature checks and runtime "
+                    "verification.",
     )
     parser.add_argument("paths", nargs="+",
                         help="python files or directories to analyze")
     parser.add_argument("--lint", action="store_true",
                         help="lint only (default when --run is not given)")
+    parser.add_argument("--dataflow", action="store_true",
+                        help="run the CFG/fixpoint dataflow passes "
+                             "(REQ1xx/BUF1xx/SPMD1xx/PLAN1xx)")
     parser.add_argument("--run", action="store_true",
                         help="also execute the given script(s) under a "
                              "runtime verifier")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", dest="fmt",
+                        help="output format (default: text)")
+    parser.add_argument("--output", "-o", metavar="FILE",
+                        help="write the json/sarif document to FILE "
+                             "(text summary stays on stdout)")
     parser.add_argument("--show-info", action="store_true",
                         help="include informational findings in the output")
+    parser.add_argument("--show-plans", action="store_true",
+                        help="print the extracted communication plans "
+                             "(text format; json always carries them)")
     args = parser.parse_args(argv)
 
     report = Report()
+    plans: list = []
     try:
         lint_paths(args.paths, report)
+        if args.dataflow:
+            from repro.analyze.dataflow import analyze_paths
+
+            analyze_paths(args.paths, report, plans)
     except (FileNotFoundError, SyntaxError) as exc:
         print(f"analyze: {exc}", file=sys.stderr)
         return 2
@@ -95,8 +126,36 @@ def main(argv: List[str] | None = None) -> int:
             if path.endswith(".py"):
                 _run_verified(path, report)
 
-    show = ("error", "warning", "info") if args.show_info else ("error", "warning")
-    print(report.render(show=show))
+    document = None
+    if args.fmt == "json":
+        from repro.analyze.emit import to_json
+
+        document = to_json(report, plans)
+    elif args.fmt == "sarif":
+        from repro.analyze.emit import to_sarif
+
+        document = to_sarif(report)
+
+    if document is not None and args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(document + "\n")
+        document = None  # fall through to the text summary on stdout
+
+    if document is not None:
+        print(document)
+    else:
+        show = (("error", "warning", "info") if args.show_info
+                else ("error", "warning"))
+        print(report.render(show=show))
+        if args.show_plans and plans:
+            print(f"-- {len(plans)} static communication plan(s):")
+            for plan in plans:
+                decisions = ", ".join(
+                    f"{p}->{a}" for p, a in sorted(plan.decisions.items()))
+                print(f"{plan.path}:{plan.line}: {plan.collective}() "
+                      f"in {plan.function}() total={plan.total_bytes}B "
+                      f"profile={plan.profile or 'n/a'} "
+                      f"[{decisions or 'no prediction'}]")
     return report.exit_code()
 
 

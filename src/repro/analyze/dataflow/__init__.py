@@ -1,0 +1,60 @@
+"""Whole-program dataflow analysis: CFG + fixpoint engine + rule passes.
+
+This package is the *flow-sensitive* tier of the analyzer.  Where
+:mod:`repro.analyze.lint` looks at one statement at a time, the passes
+here build a control-flow graph per function (:mod:`.cfg`), run gen-kill
+fixpoint lattices over it (:mod:`.engine` -- reaching definitions and
+liveness), and ask path questions the lint tier cannot:
+
+``repro.analyze.dataflow.requests``  (REQ1xx / BUF1xx)
+    Request-lifetime analysis: a nonblocking request that can reach
+    function exit, or be rebound, without ``wait()``/``test()`` executing
+    on *every* path; generator objects assigned but never driven (the
+    dataflow-complete LNT003); and writes to a send buffer between the
+    ``isend`` and the wait that completes it.
+
+``repro.analyze.dataflow.spmd``  (SPMD1xx)
+    Rank-divergence analysis: a collective or blocking call dominated by
+    a branch whose condition is tainted by ``comm.rank`` -- the static
+    twin of the runtime COL001/COL002 checks -- and rank-dependent early
+    exits ahead of a collective.
+
+``repro.analyze.dataflow.plans``  (PLAN1xx)
+    Static communication-plan extraction: per collective call site,
+    symbolically evaluate counts/datatypes where constant, predict the
+    volume profile, report which registry algorithm each selection
+    policy would pick, and warn on sparse / heavy-outlier / low-density
+    shapes per the paper's section 4.1/4.2 cost model.
+
+Entry points: :func:`analyze_source` / :func:`analyze_file` /
+:func:`analyze_paths` mirror the lint API and share its suppression
+mechanism (``# analyze: ignore[CODE]``).
+"""
+
+from repro.analyze.dataflow.cfg import CFG, CFGNode, build_cfg, function_cfgs
+from repro.analyze.dataflow.driver import (
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analyze.dataflow.engine import (
+    DataflowSolution,
+    liveness,
+    reaching_definitions,
+)
+from repro.analyze.dataflow.plans import CommunicationPlan, extract_plans
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "CommunicationPlan",
+    "DataflowSolution",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "build_cfg",
+    "extract_plans",
+    "function_cfgs",
+    "liveness",
+    "reaching_definitions",
+]

@@ -1,0 +1,79 @@
+"""File-level driver for the dataflow passes: parse once, run REQ/BUF,
+SPMD and PLAN over every function, honour suppressions."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.analyze.dataflow import plans as _plans
+from repro.analyze.dataflow import requests as _requests
+from repro.analyze.dataflow import spmd as _spmd
+from repro.analyze.dataflow.cfg import build_cfg
+from repro.analyze.findings import Report
+from repro.analyze.lint import iter_python_files
+from repro.analyze.suppress import apply_suppressions, collect_suppressions
+
+__all__ = ["analyze_source", "analyze_file", "analyze_paths"]
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    report: Optional[Report] = None,
+    plans: Optional[List[_plans.CommunicationPlan]] = None,
+) -> Report:
+    """Run every dataflow pass over one module's source text.
+
+    Appends to ``report``/``plans`` when given (mirroring
+    :func:`repro.analyze.lint.lint_source`); suppression comments are
+    applied before findings reach the caller's report.
+    """
+    report = report if report is not None else Report()
+    tree = ast.parse(source, filename=path)
+    suppressions = collect_suppressions(source)
+    local = Report()
+
+    module_funcs = {
+        node.name: node for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    summary_cache: dict = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        cfg = build_cfg(node)
+        _requests.check_function(cfg, module_funcs, path, local,
+                                 summary_cache)
+        _spmd.check_function(node, module_funcs, path, local, summary_cache)
+
+    file_plans, _ = _plans.extract_plans(tree, path, local)
+    if plans is not None:
+        plans.extend(file_plans)
+
+    report.extend(apply_suppressions(local, suppressions))
+    return report
+
+
+def analyze_file(
+    path: Union[str, Path],
+    report: Optional[Report] = None,
+    plans: Optional[List[_plans.CommunicationPlan]] = None,
+) -> Report:
+    path = Path(path)
+    return analyze_source(path.read_text(encoding="utf-8"), str(path),
+                          report, plans)
+
+
+def analyze_paths(
+    paths: Iterable[Union[str, Path]],
+    report: Optional[Report] = None,
+    plans: Optional[List[_plans.CommunicationPlan]] = None,
+) -> Tuple[Report, List[_plans.CommunicationPlan]]:
+    """Dataflow-analyze every ``.py`` file under ``paths``."""
+    report = report if report is not None else Report()
+    plans = plans if plans is not None else []
+    for path in iter_python_files(paths):
+        analyze_file(path, report, plans)
+    return report, plans

@@ -1,0 +1,257 @@
+"""Gen-kill fixpoint lattices over a :class:`~repro.analyze.dataflow.cfg.CFG`.
+
+Two classic bit-vector problems, both solved with a worklist iteration to
+a fixpoint over finite powerset lattices (termination: transfer functions
+are monotone, the lattice has finite height):
+
+:func:`reaching_definitions`
+    Forward, may.  A *definition* is any fact the caller attaches to a
+    node (we use ``(name, node_index)`` pairs for variable definitions and
+    richer tuples for request/buffer facts).  ``in[n] = U out[p]``,
+    ``out[n] = gen[n] | (in[n] - kill[n])``.
+
+:func:`liveness`
+    Backward, may.  ``out[n] = U in[s]``, ``in[n] = use[n] | (out[n] -
+    def[n])``.
+
+Plus the AST plumbing the rule passes share: per-statement use/def
+extraction and the **one-level call summary** for ``yield from`` helper
+functions (does the helper wait a request parameter? does it perform a
+collective or blocking call?), which is what lets the request-lifetime
+and SPMD passes see through the codebase's generator-helper idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Set
+
+from repro.analyze.dataflow.cfg import CFG
+
+__all__ = [
+    "DataflowSolution",
+    "CallSummary",
+    "liveness",
+    "reaching_definitions",
+    "stmt_uses",
+    "stmt_defs",
+    "summarize_function",
+]
+
+Fact = Hashable
+
+
+class DataflowSolution:
+    """Per-node ``in``/``out`` fact sets of one solved dataflow problem."""
+
+    def __init__(self, cfg: CFG, in_sets: List[Set[Fact]],
+                 out_sets: List[Set[Fact]]):
+        self.cfg = cfg
+        self.in_sets = in_sets
+        self.out_sets = out_sets
+
+    def at_entry(self, index: int) -> FrozenSet[Fact]:
+        return frozenset(self.in_sets[index])
+
+    def at_exit(self, index: int) -> FrozenSet[Fact]:
+        return frozenset(self.out_sets[index])
+
+
+def reaching_definitions(
+    cfg: CFG,
+    gen: Dict[int, Set[Fact]],
+    kill: Callable[[int, Set[Fact]], Set[Fact]],
+) -> DataflowSolution:
+    """Forward may-analysis.  ``gen`` maps node index -> facts generated
+    there; ``kill(index, facts)`` returns the subset of incoming ``facts``
+    the node kills (a callable so kills can depend on the fact payload,
+    e.g. "kill every pending request named r")."""
+    n = len(cfg.nodes)
+    in_sets: List[Set[Fact]] = [set() for _ in range(n)]
+    out_sets: List[Set[Fact]] = [set() for _ in range(n)]
+    order = cfg.rpo()
+    work = list(order)
+    in_work = set(work)
+    while work:
+        idx = work.pop(0)
+        in_work.discard(idx)
+        node = cfg.nodes[idx]
+        new_in: Set[Fact] = set()
+        for p in node.pred:
+            new_in |= out_sets[p]
+        in_sets[idx] = new_in
+        new_out = set(gen.get(idx, ())) | (new_in - kill(idx, new_in))
+        if new_out != out_sets[idx]:
+            out_sets[idx] = new_out
+            for s in node.succ:
+                if s not in in_work:
+                    in_work.add(s)
+                    work.append(s)
+    return DataflowSolution(cfg, in_sets, out_sets)
+
+
+def liveness(cfg: CFG) -> DataflowSolution:
+    """Backward may-analysis over plain variable names: ``in[n]`` is the
+    set of names live on entry to node ``n``."""
+    n = len(cfg.nodes)
+    use: List[Set[str]] = [set() for _ in range(n)]
+    defs: List[Set[str]] = [set() for _ in range(n)]
+    for node in cfg.nodes:
+        if node.stmt is not None:
+            use[node.index] = stmt_uses(node.stmt)
+            defs[node.index] = stmt_defs(node.stmt)
+    in_sets: List[Set[Fact]] = [set() for _ in range(n)]
+    out_sets: List[Set[Fact]] = [set() for _ in range(n)]
+    work = list(reversed(cfg.rpo()))
+    in_work = set(work)
+    while work:
+        idx = work.pop(0)
+        in_work.discard(idx)
+        node = cfg.nodes[idx]
+        new_out: Set[Fact] = set()
+        for s in node.succ:
+            new_out |= in_sets[s]
+        out_sets[idx] = new_out
+        new_in = use[idx] | (new_out - defs[idx])
+        if new_in != in_sets[idx]:
+            in_sets[idx] = new_in
+            for p in node.pred:
+                if p not in in_work:
+                    in_work.add(p)
+                    work.append(p)
+    return DataflowSolution(cfg, in_sets, out_sets)
+
+
+# -- per-statement use/def extraction ----------------------------------------
+
+#: compound statements whose *bodies* live in other CFG nodes; only the
+#: header expression belongs to this node
+_HEADER_ONLY = (ast.If, ast.While, ast.For, ast.AsyncFor, ast.With,
+                ast.AsyncWith, ast.Try, ast.Match)
+
+
+def header_expressions(stmt: ast.AST) -> List[ast.AST]:
+    """The expressions evaluated *at* a compound statement's header node
+    (condition / iterable / context managers / match subject)."""
+    if isinstance(stmt, ast.If) or isinstance(stmt, ast.While):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        out: List[ast.AST] = []
+        for item in stmt.items:
+            out.append(item.context_expr)
+            if item.optional_vars is not None:
+                out.append(item.optional_vars)
+        return out
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.Try):
+        return []
+    return [stmt]
+
+
+def stmt_uses(stmt: ast.AST) -> Set[str]:
+    """Names read by this statement (header expressions only for compound
+    statements)."""
+    out: Set[str] = set()
+    for expr in header_expressions(stmt):
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                out.add(sub.id)
+    return out
+
+
+def stmt_defs(stmt: ast.AST) -> Set[str]:
+    """Names (re)bound by this statement."""
+    out: Set[str] = set()
+    for expr in header_expressions(stmt):
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and isinstance(
+                    sub.ctx, (ast.Store, ast.Del)):
+                out.add(sub.id)
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        out.add(stmt.name)
+    return out
+
+
+# -- one-level call summaries -------------------------------------------------
+
+#: attribute names treated as collective operations on a communicator
+COLLECTIVE_METHODS = frozenset({
+    # NOTE: `split` is deliberately absent -- calling it with
+    # rank-dependent colors under rank-dependent control flow is the
+    # *intended* use of communicator splitting
+    "barrier", "bcast", "allreduce", "gather_obj", "reduce",
+    "allreduce_array", "scan", "gatherv", "scatterv", "allgather",
+    "alltoall", "allgatherv", "alltoallw",
+})
+
+#: attribute names of blocking point-to-point / completion operations
+BLOCKING_METHODS = frozenset({
+    "send", "recv", "sendrecv", "recv_obj", "probe",
+    "wait", "waitall", "waitany",
+})
+
+#: attribute names that complete a request
+WAIT_METHODS = frozenset({"wait", "test", "waitall", "waitany"})
+
+
+class CallSummary:
+    """What one helper function does to its parameters -- the one-level
+    interprocedural summary used at ``yield from helper(...)`` sites."""
+
+    __slots__ = ("name", "params", "waits_params", "calls_collective",
+                 "calls_blocking")
+
+    def __init__(self, name: str, params: List[str],
+                 waits_params: Set[int], calls_collective: bool,
+                 calls_blocking: bool):
+        self.name = name
+        self.params = params
+        #: positional parameter indices on which .wait()/.test() is called
+        self.waits_params = waits_params
+        self.calls_collective = calls_collective
+        self.calls_blocking = calls_blocking
+
+
+def summarize_function(func: ast.AST) -> CallSummary:
+    """Build the flow-insensitive summary of one module-level function."""
+    params = [a.arg for a in func.args.posonlyargs + func.args.args]
+    waits: Set[int] = set()
+    calls_collective = False
+    calls_blocking = False
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        if not isinstance(fn, ast.Attribute):
+            continue
+        if fn.attr in COLLECTIVE_METHODS:
+            calls_collective = True
+        if fn.attr in BLOCKING_METHODS:
+            calls_blocking = True
+        if fn.attr in WAIT_METHODS:
+            # req.wait() on a parameter name, or Request.waitall(param)
+            if isinstance(fn.value, ast.Name) and fn.value.id in params:
+                waits.add(params.index(fn.value.id))
+            for arg in node.args:
+                roots = {s.id for s in ast.walk(arg)
+                         if isinstance(s, ast.Name)
+                         and isinstance(s.ctx, ast.Load)}
+                for root in roots & set(params):
+                    waits.add(params.index(root))
+    return CallSummary(getattr(func, "name", "<lambda>"), params, waits,
+                       calls_collective, calls_blocking)
+
+
+def summaries_for(module_funcs: Dict[str, ast.AST],
+                  cache: Optional[Dict[str, CallSummary]] = None,
+                  ) -> Dict[str, CallSummary]:
+    """Summaries for every module-level function (memoised per module)."""
+    if cache is not None and cache:
+        return cache
+    out = {name: summarize_function(fn) for name, fn in module_funcs.items()}
+    if cache is not None:
+        cache.update(out)
+    return out

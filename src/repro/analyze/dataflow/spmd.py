@@ -1,0 +1,302 @@
+"""SPMD rank-divergence analysis (SPMD1xx) -- the static twin of the
+runtime COL001/COL002 checks.
+
+Every rank executes the same program text; a collective only completes if
+*all* ranks of the communicator reach it.  A collective call dominated by
+a branch whose condition depends on ``comm.rank`` therefore hangs the
+ranks that take the other side.
+
+Taint seeding and propagation are flow-insensitive within one function:
+``comm.rank`` / ``comm.grank`` loads are tainted, and any name assigned
+from an expression using a tainted value becomes tainted (iterated to a
+fixpoint so ``r = comm.rank; is_root = r == 0; if is_root:`` is caught).
+
+Two idioms are recognised and exempted rather than flagged:
+
+- **matched collectives**: when the *other* execution path of a
+  rank-tainted branch performs the same collective method, every rank
+  does enter it -- this is the canonical root-vs-nonroot shape of
+  ``gatherv``/``scatterv``/``reduce`` (root passes the recv/send buffer,
+  the rest don't).  "Other path" means the ``else`` suite, plus the
+  fall-through statements after the ``if`` when the branch body exits
+  the function.
+- **sub-communicator collectives**: a collective invoked on a receiver
+  that is itself rank-tainted (``sub = yield from comm.split(...)``)
+  is scoped to the ranks that hold it; membership divergence there is
+  the *point* of ``split`` and is checked at runtime (COL001), not here.
+
+Rules:
+
+- **SPMD101** (error): a collective operation (or a ``yield from`` of a
+  module-level helper whose one-level call summary performs one) appears
+  under a rank-tainted branch with no matching call on the other path.
+- **SPMD102** (warning): a rank-tainted branch returns/raises out of the
+  function while an unmatched collective appears later on the
+  fall-through path -- the ranks that exit early never reach it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analyze.dataflow.engine import (
+    COLLECTIVE_METHODS,
+    CallSummary,
+    summaries_for,
+)
+from repro.analyze.findings import Report
+
+#: attribute names whose load seeds rank taint
+RANK_ATTRS = frozenset({"rank", "grank"})
+
+
+def _expr_tainted(expr: ast.AST, tainted: Set[str]) -> bool:
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Attribute) and sub.attr in RANK_ATTRS:
+            return True
+        if (isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
+                and sub.id in tainted):
+            return True
+    return False
+
+
+def tainted_names(func: ast.AST) -> Set[str]:
+    """Names carrying rank-derived values anywhere in ``func`` (fixpoint
+    over simple assignments; augmented assignments taint their target)."""
+    tainted: Set[str] = set()
+    assigns: List[Tuple[Set[str], ast.AST]] = []
+    for node in ast.walk(func):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not func:
+            continue  # nested defs get their own analysis
+        if isinstance(node, ast.Assign):
+            names = {t.id for t in node.targets if isinstance(t, ast.Name)}
+            assigns.append((names, node.value))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and isinstance(node.target, ast.Name):
+            assigns.append(({node.target.id}, node.value))
+        elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Name):
+            assigns.append(({node.target.id}, node.value))
+            assigns.append(({node.target.id}, node.target))
+        elif isinstance(node, ast.NamedExpr) and isinstance(
+                node.target, ast.Name):
+            assigns.append(({node.target.id}, node.value))
+    changed = True
+    while changed:
+        changed = False
+        for names, value in assigns:
+            if names - tainted and _expr_tainted(value, tainted):
+                tainted |= names
+                changed = True
+    return tainted
+
+
+def _collective_calls(node: ast.AST,
+                      summaries: Dict[str, CallSummary],
+                      ) -> List[Tuple[int, str, str, Optional[str]]]:
+    """(line, description, method, receiver-name) of every collective
+    operation inside ``node``, including one-level helper calls whose
+    summary performs one.  ``receiver-name`` is the root ``Name`` the
+    method is invoked on (``comm`` in ``comm.bcast``), or ``None`` for
+    helper calls and computed receivers."""
+    out: List[Tuple[int, str, str, Optional[str]]] = []
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        fn = sub.func
+        if isinstance(fn, ast.Attribute) and fn.attr in COLLECTIVE_METHODS:
+            recv = fn.value.id if isinstance(fn.value, ast.Name) else None
+            out.append((sub.lineno, f".{fn.attr}(...)", fn.attr, recv))
+        elif isinstance(fn, ast.Name):
+            summary = summaries.get(fn.id)
+            if summary is not None and summary.calls_collective:
+                out.append((sub.lineno,
+                            f"{fn.id}(...) [helper performs a collective]",
+                            fn.id, None))
+    return out
+
+
+def _methods_in(stmts: Sequence[ast.stmt],
+                summaries: Dict[str, CallSummary]) -> Set[str]:
+    out: Set[str] = set()
+    for stmt in stmts:
+        for _line, _desc, method, _recv in _collective_calls(stmt, summaries):
+            out.add(method)
+    return out
+
+
+def _block_exits(stmts: Sequence[ast.stmt]) -> bool:
+    """Whether the block leaves the function (a top-level return/raise)."""
+    return any(isinstance(s, (ast.Return, ast.Raise)) for s in stmts)
+
+
+class _Guard:
+    __slots__ = ("line", "src", "exempt", "branch_methods")
+
+    def __init__(self, line: int, src: str, exempt: Set[str],
+                 branch_methods: Set[str]):
+        self.line = line
+        self.src = src
+        #: collective methods matched on the other execution path
+        self.exempt = exempt
+        #: collective methods the guarded branch itself performs (used to
+        #: match collectives below a rank-dependent early exit)
+        self.branch_methods = branch_methods
+
+
+class _SpmdVisitor:
+    """Block walker threading the fall-through ``tail`` of each statement
+    so a rank-tainted ``if`` can see what the other side executes."""
+
+    def __init__(self, func: ast.AST, path: str, report: Report,
+                 summaries: Dict[str, CallSummary]):
+        self.func = func
+        self.fname = getattr(func, "name", "<lambda>")
+        self.path = path
+        self.report = report
+        self.summaries = summaries
+        self.tainted = tainted_names(func)
+        self.guards: List[_Guard] = []
+        #: (exit_line, guard_line, methods executed by the exiting branch)
+        self.exits: List[Tuple[int, int, Set[str]]] = []
+        #: every collective site in the function, for SPMD102
+        self.collectives = sorted(
+            _collective_calls(func, self.summaries), key=lambda c: c[0])
+
+    # -- walking -------------------------------------------------------------
+
+    def run(self) -> None:
+        self._walk(self.func.body, [])
+
+    def _walk(self, stmts: Sequence[ast.stmt],
+              tail: Sequence[ast.stmt]) -> None:
+        for i, stmt in enumerate(stmts):
+            self._stmt(stmt, list(stmts[i + 1:]) + list(tail))
+
+    def _stmt(self, stmt: ast.stmt, rest: Sequence[ast.stmt]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested definitions get their own analysis
+        if isinstance(stmt, ast.If):
+            self._if(stmt, rest)
+        elif isinstance(stmt, ast.While):
+            self._loop(stmt, stmt.test, rest)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # a rank-dependent *iteration count* diverges too
+            self._loop(stmt, stmt.iter, rest)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._check(item.context_expr)
+            self._walk(stmt.body, rest)
+        elif isinstance(stmt, ast.Try):
+            self._walk(stmt.body, rest)
+            for handler in stmt.handlers:
+                self._walk(handler.body, rest)
+            self._walk(stmt.orelse, rest)
+            self._walk(stmt.finalbody, rest)
+        elif isinstance(stmt, ast.Match):
+            for case in stmt.cases:
+                self._walk(case.body, rest)
+        elif isinstance(stmt, (ast.Return, ast.Raise)):
+            self._check(stmt)
+            if self.guards:
+                guard = self.guards[-1]
+                self.exits.append(
+                    (stmt.lineno, guard.line, set(guard.branch_methods)))
+        else:
+            self._check(stmt)
+
+    def _if(self, node: ast.If, rest: Sequence[ast.stmt]) -> None:
+        if not _expr_tainted(node.test, self.tainted):
+            self._walk(node.body, rest)
+            self._walk(node.orelse, rest)
+            return
+        body_m = _methods_in(node.body, self.summaries)
+        orelse_m = _methods_in(node.orelse, self.summaries)
+        rest_m = _methods_in(rest, self.summaries)
+        # the other side of the body is the else suite; when the body
+        # exits the function, the non-taking ranks additionally run the
+        # fall-through statements -- and vice versa for the else suite
+        exempt_body = orelse_m | (rest_m if _block_exits(node.body) else set())
+        exempt_orelse = body_m | (
+            rest_m if _block_exits(node.orelse) else set())
+        src = ast.unparse(node.test)
+        self.guards.append(_Guard(node.lineno, src, exempt_body, body_m))
+        self._walk(node.body, rest)
+        self.guards.pop()
+        self.guards.append(_Guard(node.lineno, src, exempt_orelse, orelse_m))
+        self._walk(node.orelse, rest)
+        self.guards.pop()
+
+    def _loop(self, stmt: ast.stmt, cond: ast.AST,
+              rest: Sequence[ast.stmt]) -> None:
+        tainted = _expr_tainted(cond, self.tainted)
+        if tainted:
+            # no "other side" to match: a rank-dependent trip count means
+            # unequal numbers of collective calls across ranks
+            body_m = _methods_in(stmt.body, self.summaries)
+            self.guards.append(
+                _Guard(stmt.lineno, ast.unparse(cond), set(), body_m))
+        self._walk(stmt.body, rest)
+        self._walk(getattr(stmt, "orelse", []) or [], rest)
+        if tainted:
+            self.guards.pop()
+
+    # -- reporting -----------------------------------------------------------
+
+    def _check(self, node: ast.AST) -> None:
+        if not self.guards:
+            return
+        guard = self.guards[-1]
+        for line, desc, method, recv in _collective_calls(
+                node, self.summaries):
+            if method in guard.exempt:
+                continue  # matched on the other execution path
+            if recv is not None and recv in self.tainted:
+                continue  # sub-communicator from a rank-dependent split
+            self.report.add(
+                "SPMD101",
+                f"collective {desc} in {self.fname}() executes under "
+                f"the rank-dependent branch at line {guard.line} "
+                f"(condition: {guard.src!r}) with no matching call on "
+                "the other side; ranks taking the other side never "
+                "enter it and the job hangs",
+                location=self.path, line=line,
+                key=("SPMD101", self.fname, line),
+            )
+
+    def finish(self) -> None:
+        for exit_line, guard_line, executed in self.exits:
+            later = [
+                (line, method) for line, _desc, method, recv
+                in self.collectives
+                if line > exit_line
+                and method not in executed
+                and (recv is None or recv not in self.tainted)
+            ]
+            if later:
+                self.report.add(
+                    "SPMD102",
+                    f"rank-dependent early exit at line {exit_line} in "
+                    f"{self.fname}() (branch at line {guard_line}); the "
+                    f"collective at line {later[0][0]} below is then "
+                    "entered by only a subset of ranks",
+                    location=self.path, line=exit_line,
+                    key=("SPMD102", self.fname, exit_line),
+                )
+
+
+def check_function(func: ast.AST, module_funcs: Dict[str, ast.AST],
+                   path: str, report: Report,
+                   _summary_cache: Optional[Dict[str, CallSummary]] = None,
+                   ) -> None:
+    """Run SPMD1xx over one function's AST."""
+    summaries = summaries_for(module_funcs, _summary_cache)
+    visitor = _SpmdVisitor(func, path, report, summaries)
+    visitor.run()
+    visitor.finish()
+
+
+__all__ = ["check_function", "tainted_names"]

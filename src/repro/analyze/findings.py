@@ -35,6 +35,34 @@ RULES = {
     "COL002": ("error", "collective argument mismatch across ranks"),
     "ZBS001": ("info", "zero-byte synchronisation messages on the wire "
                        "(the binned Alltoallw of section 4.2.2 removes these)"),
+    # -- dataflow: request lifetime (repro.analyze.dataflow.requests) -------
+    "REQ101": ("error", "nonblocking request may reach function exit "
+                        "without wait()/test() on some path"),
+    "REQ102": ("error", "request rebound while a completion was still "
+                        "pending (classic loop-carried isend bug)"),
+    "REQ103": ("error", "blocking-communication generator assigned but "
+                        "never driven with 'yield from' on some path "
+                        "(dataflow-complete LNT003)"),
+    # -- dataflow: buffer aliasing (repro.analyze.dataflow.requests) --------
+    "BUF101": ("error", "buffer written between a nonblocking send and the "
+                        "wait that completes it"),
+    "BUF102": ("warning", "receive buffer read before the nonblocking "
+                          "receive completes"),
+    # -- dataflow: SPMD rank divergence (repro.analyze.dataflow.spmd) -------
+    "SPMD101": ("error", "collective call dominated by a rank-dependent "
+                         "branch (static twin of runtime COL001/COL002)"),
+    "SPMD102": ("warning", "rank-dependent early exit ahead of a collective "
+                           "entered by the remaining ranks"),
+    # -- dataflow: static communication plans (repro.analyze.dataflow.plans)
+    "PLAN101": ("warning", "statically sparse volume set: mostly zero-byte "
+                           "synchronisation messages (binned Alltoallw of "
+                           "section 4.2.2 removes these)"),
+    "PLAN102": ("warning", "statically heavy-outlier volume set: ring-style "
+                           "algorithms serialise on the largest "
+                           "contribution (Eq. 1)"),
+    "PLAN103": ("warning", "statically low-density datatype at a "
+                           "communication call site (section 4.1 "
+                           "pack-slower-than-copy cost model)"),
     # -- project lint (repro.analyze.lint) ----------------------------------
     "LNT001": ("error", "bare 'except:' swallows SystemExit/KeyboardInterrupt"),
     "LNT002": ("warning", "datatype re-flattened/re-packed inside a loop "

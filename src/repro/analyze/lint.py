@@ -62,15 +62,39 @@ ALGORITHM_IMPL_NAMES = frozenset({
 _LNT006_EXEMPT = ("repro/mpi/algorithms", "repro/mpi/collectives")
 
 
+def _dotted_path(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an attribute chain rooted at a plain name, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
 def _assigned_names(node: ast.AST) -> set:
-    """Names (re)bound anywhere inside ``node``."""
+    """Names and dotted attribute paths (re)bound anywhere inside
+    ``node`` (``x``, ``self.dtype`` ...)."""
     out: set = set()
     for sub in ast.walk(node):
         if isinstance(sub, ast.Name) and isinstance(sub.ctx, (ast.Store, ast.Del)):
             out.add(sub.id)
+        elif isinstance(sub, ast.Attribute) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)):
+            dotted = _dotted_path(sub)
+            if dotted is not None:
+                out.add(dotted)
         elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
             out.add(sub.name)
     return out
+
+
+def _prefixes(dotted: str) -> List[str]:
+    """``a.b.c`` -> [``a``, ``a.b``, ``a.b.c``]."""
+    parts = dotted.split(".")
+    return [".".join(parts[:i + 1]) for i in range(len(parts))]
 
 
 class _Linter(ast.NodeVisitor):
@@ -91,6 +115,7 @@ class _Linter(ast.NodeVisitor):
 
     # LNT004 ---------------------------------------------------------------
     def _check_defaults(self, node) -> None:
+        label = getattr(node, "name", "<lambda>")
         defaults = list(node.args.defaults) + [
             d for d in node.args.kw_defaults if d is not None
         ]
@@ -98,7 +123,7 @@ class _Linter(ast.NodeVisitor):
             if isinstance(default, (ast.List, ast.Dict, ast.Set)):
                 self.report.add(
                     "LNT004",
-                    f"mutable default argument in {node.name}(); "
+                    f"mutable default argument in {label}(); "
                     "use None and create it inside the function",
                     location=self.path, line=default.lineno,
                 )
@@ -109,6 +134,14 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self._check_dropped_generators(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # lambda defaults (`lambda x=[]: ...`) evaluate once like any
+        # other default -- including lambdas nested in other lambdas,
+        # which generic_visit reaches recursively
         self._check_defaults(node)
         self.generic_visit(node)
 
@@ -142,12 +175,17 @@ class _Linter(ast.NodeVisitor):
             if sub.func.attr not in RESCAN_METHODS:
                 continue
             recv = sub.func.value
-            # only flag calls on a plain name that the loop never rebinds:
-            # a loop-invariant datatype/buffer being re-flattened per trip
-            if isinstance(recv, ast.Name) and recv.id not in assigned:
+            # flag calls on a plain name -- or an attribute chain rooted
+            # at one (`self.dtype.flatten()`) -- that the loop never
+            # rebinds: a loop-invariant datatype being re-flattened per
+            # trip.  Rebinding any prefix of the chain (`self.dtype = ..`
+            # or `self = ..`) makes the receiver loop-variant.
+            dotted = _dotted_path(recv)
+            if dotted is not None and not any(
+                    p in assigned for p in _prefixes(dotted)):
                 self.report.add(
                     "LNT002",
-                    f"'{recv.id}.{sub.func.attr}()' re-derives its block "
+                    f"'{dotted}.{sub.func.attr}()' re-derives its block "
                     "list on every loop iteration; hoist it out of the loop",
                     location=self.path, line=sub.lineno,
                 )
@@ -194,10 +232,15 @@ class _Linter(ast.NodeVisitor):
 def lint_source(source: str, path: str = "<string>",
                 report: Optional[Report] = None) -> Report:
     """Lint python ``source`` text; syntax errors become LNT findings-free
-    errors raised to the caller."""
+    errors raised to the caller.  ``# analyze: ignore[CODE]`` comments
+    suppress findings on their line."""
+    from repro.analyze.suppress import apply_suppressions, collect_suppressions
+
     report = report if report is not None else Report()
     tree = ast.parse(source, filename=path)
-    _Linter(path, report).visit(tree)
+    local = Report()
+    _Linter(path, local).visit(tree)
+    report.extend(apply_suppressions(local, collect_suppressions(source)))
     return report
 
 
@@ -206,13 +249,27 @@ def lint_file(path: Union[str, Path], report: Optional[Report] = None) -> Report
     return lint_source(path.read_text(encoding="utf-8"), str(path), report)
 
 
+#: directory names skipped during directory expansion.  ``fixtures`` holds
+#: intentionally-broken analyzer inputs (tests pass them explicitly).
+SKIPPED_DIRS = frozenset({"fixtures", "__pycache__"})
+
+
 def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Directories named in :data:`SKIPPED_DIRS` are pruned during
+    expansion; explicitly named files are always included.
+    """
     out: List[Path] = []
     for p in paths:
         p = Path(p)
         if p.is_dir():
-            out.extend(sorted(p.rglob("*.py")))
+            out.extend(sorted(
+                f for f in p.rglob("*.py")
+                # prune on path segments *below* the requested directory,
+                # so `analyze tests/fixtures` itself still works
+                if not (SKIPPED_DIRS & set(f.relative_to(p).parts[:-1]))
+            ))
         elif p.suffix == ".py":
             out.append(p)
         else:

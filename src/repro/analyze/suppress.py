@@ -1,0 +1,100 @@
+"""Inline suppression comments, honoured by every analyzer pass.
+
+Syntax (anywhere on the offending line, or on the line a finding is
+reported at)::
+
+    req = comm.irecv(buf)        # analyze: ignore[REQ101]
+    blocks = dt.flatten()        # analyze: ignore[LNT002,SIG004]
+    something_hairy()            # analyze: ignore
+
+A bare ``ignore`` (no bracket list) suppresses every rule on that line;
+the bracketed form suppresses only the named codes.  A suppression on a
+*comment-only* line also covers the next line, so long statements can
+carry their marker above::
+
+    # justified because ...  # analyze: ignore[BUF101]
+    req = yield from comm.isend(really_long_expression, partner, tag)
+
+Suppressions are collected with :mod:`tokenize` so strings containing
+the marker text do not count, and applied uniformly by lint
+(:func:`repro.analyze.lint.lint_source`) and the dataflow passes.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Optional, Set
+
+from repro.analyze.findings import Report
+
+__all__ = ["Suppressions", "collect_suppressions", "apply_suppressions"]
+
+#: matches "# analyze: ignore" with an optional [CODE,CODE] list
+_PATTERN = re.compile(
+    r"#\s*analyze:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]*)\])?")
+
+#: sentinel meaning "every rule"
+ALL = "*"
+
+
+class Suppressions:
+    """Line -> suppressed-rule index for one source file."""
+
+    def __init__(self, by_line: Optional[Dict[int, Set[str]]] = None):
+        self.by_line: Dict[int, Set[str]] = by_line or {}
+        #: findings dropped by :func:`apply_suppressions`
+        self.suppressed_count = 0
+
+    def is_suppressed(self, rule: str, line: Optional[int]) -> bool:
+        if line is None:
+            return False
+        codes = self.by_line.get(line)
+        if not codes:
+            return False
+        return ALL in codes or rule in codes
+
+    def __bool__(self) -> bool:
+        return bool(self.by_line)
+
+
+def collect_suppressions(source: str) -> Suppressions:
+    """Scan ``source`` for ``# analyze: ignore[...]`` comments."""
+    by_line: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(tok.string)
+            if match is None:
+                continue
+            raw = match.group("codes")
+            if raw is None:
+                codes = {ALL}
+            else:
+                codes = {c.strip().upper() for c in raw.split(",") if c.strip()}
+                if not codes:
+                    codes = {ALL}
+            by_line.setdefault(tok.start[0], set()).update(codes)
+            if tok.line.strip().startswith("#"):
+                # a comment-only line also covers the statement below it
+                by_line.setdefault(tok.start[0] + 1, set()).update(codes)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # unparseable comment stream: no suppressions, analysis proceeds
+        pass
+    return Suppressions(by_line)
+
+
+def apply_suppressions(report: Report, suppressions: Suppressions) -> Report:
+    """A new :class:`Report` without the suppressed findings."""
+    if not suppressions:
+        return report
+    filtered = Report()
+    for f in report:
+        if suppressions.is_suppressed(f.rule, f.line):
+            suppressions.suppressed_count += 1
+            continue
+        filtered.add(f.rule, f.message, f.location, f.line, f.key)
+    return filtered

@@ -194,15 +194,22 @@ def _dissemination(comm, recvbuffer, datatype, counts, displs) -> Generator:
 
 
 def _exchange(comm, stb, dst, rtb, src, tag) -> Generator:
-    """Pairwise sendrecv where either side may be empty."""
-    rreq = comm.irecv(rtb, src, tag) if rtb is not None else None
-    if stb is not None:
+    """Pairwise sendrecv where either side may be empty.
+
+    Each request is created and completed on the same control-flow path
+    (rather than `x = .. if cond else None` + a correlated `if x` wait)
+    so the REQ1xx lifetime analysis can verify every wait statically.
+    """
+    if stb is not None and rtb is not None:
+        rreq = comm.irecv(rtb, src, tag)
         sreq = yield from comm.isend(stb, dst, tag)
-    else:
-        sreq = None
-    if rreq is not None:
         yield from rreq.wait()
-    if sreq is not None:
+        yield from sreq.wait()
+    elif rtb is not None:
+        rreq = comm.irecv(rtb, src, tag)
+        yield from rreq.wait()
+    elif stb is not None:
+        sreq = yield from comm.isend(stb, dst, tag)
         yield from sreq.wait()
 
 

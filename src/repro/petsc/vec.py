@@ -291,12 +291,18 @@ class Vec:
         modes = yield from comm.gather_obj(mode if stash else None, root=0)
         if comm.rank == 0:
             used = {m for m in modes if m is not None}
+            # a conflict is broadcast (not raised here) so that *every*
+            # rank raises in lockstep -- raising on root alone would leave
+            # the other ranks blocked in the bcast below (SPMD102)
             if len(used) > 1:
-                raise PETScError(f"conflicting assembly modes: {used}")
-            agreed = used.pop() if used else "insert"
+                agreed = ("!conflict", tuple(sorted(used)))
+            else:
+                agreed = used.pop() if used else "insert"
         else:
             agreed = None
         agreed = yield from comm.bcast(agreed, root=0)
+        if isinstance(agreed, tuple) and agreed and agreed[0] == "!conflict":
+            raise PETScError(f"conflicting assembly modes: {set(agreed[1])}")
         out_counts = np.zeros(comm.size)
         for peer, blocks in stash.items():
             out_counts[peer] = sum(b.shape[1] for b in blocks)

@@ -1,0 +1,29 @@
+"""Intentionally broken fixture: buffer-aliasing bugs (BUF1xx).
+
+Parsed (never executed) by ``tests/test_analyze_dataflow.py``; see
+``broken_req.py`` for why this directory is excluded from tree scans.
+
+Expected: BUF101 (send buffer overwritten while the isend is in
+flight), BUF102 (receive buffer read before the irecv completes).
+"""
+
+import numpy as np
+
+
+def overwrites_inflight_send(comm, partner):
+    """BUF101: ``payload`` is mutated between isend and wait, so the
+    rendezvous transfer may ship the *new* contents."""
+    payload = np.arange(8, dtype=np.float64)
+    req = yield from comm.isend(payload, partner)
+    payload[:] = 0.0
+    yield from req.wait()
+
+
+def reads_unfilled_recv(comm, partner):
+    """BUF102: the checksum is computed from ``inbox`` before the
+    receive has landed."""
+    inbox = np.zeros(8, dtype=np.float64)
+    req = comm.irecv(inbox, partner)
+    checksum = float(inbox.sum())
+    yield from req.wait()
+    return checksum

@@ -1,0 +1,40 @@
+"""Intentionally pathological fixture: communication plans (PLAN1xx).
+
+Parsed (never executed) by ``tests/test_analyze_dataflow.py``; see
+``broken_req.py`` for why this directory is excluded from tree scans.
+
+The count vectors here are statically evaluable, so the PLAN pass
+extracts a volume profile and predicts the algorithm each selection
+policy would pick.  Expected: PLAN101 (sparse volume set), PLAN102
+(heavy-outlier volume set), PLAN103 (low-density datatype).
+"""
+
+import numpy as np
+
+from repro.datatypes.typemap import DOUBLE, Vector
+
+SPARSE_COUNTS = [0, 0, 6, 0, 0, 0, 0, 0]
+OUTLIER_COUNTS = [4, 4, 4, 4096, 4, 4, 4, 4]
+
+
+def sparse_gather(comm, send):
+    """PLAN101: 7 of 8 contributions are zero-byte synchronisation."""
+    recv = np.zeros(6)
+    yield from comm.gatherv(send, recv, SPARSE_COUNTS)
+    return recv
+
+
+def outlier_allgatherv(comm, send):
+    """PLAN102: one contribution dwarfs the rest; a ring serialises on
+    it (Eq. 1 of the paper)."""
+    recv = np.zeros(4124)
+    yield from comm.allgatherv(send, recv, OUTLIER_COUNTS)
+    return recv
+
+
+def low_density_send(comm, column, partner):
+    """PLAN103: a strided single-element column -- packing is slower
+    than the section 4.1 copy bound."""
+    dtype = Vector(count=256, blocklength=1, stride=64, base=DOUBLE)
+    req = yield from comm.isend(column, partner, datatype=dtype)
+    yield from req.wait()

@@ -79,6 +79,42 @@ def test_lnt003_dropped_generator():
     """) == ["LNT003", "LNT003"]
 
 
+def test_lnt003_fires_inside_async_functions():
+    # regression: visit_AsyncFunctionDef used to skip the dropped-
+    # generator check entirely
+    assert rules_of("""
+        async def main(comm):
+            comm.barrier()
+    """) == ["LNT003"]
+    assert rules_of("""
+        async def main(comm):
+            yield from comm.barrier()
+    """) == []
+
+
+def test_lnt002_attribute_receiver():
+    # loop-invariant receiver reached through an attribute chain
+    assert rules_of("""
+        def f(self, items):
+            for x in items:
+                blocks = self.dtype.flatten()
+    """) == ["LNT002"]
+    # rebinding the attribute root inside the loop: not loop-invariant
+    assert rules_of("""
+        def f(make, items):
+            for x in items:
+                self = make(x)
+                blocks = self.dtype.flatten()
+    """) == []
+    # rebinding the attribute itself inside the loop is also fine
+    assert rules_of("""
+        def f(self, make, items):
+            for x in items:
+                self.dtype = make(x)
+                blocks = self.dtype.flatten()
+    """) == []
+
+
 def test_lnt004_mutable_default():
     assert rules_of("""
         def f(x, acc=[]):
@@ -91,6 +127,21 @@ def test_lnt004_mutable_default():
     assert rules_of("""
         def f(x, acc=None):
             pass
+    """) == []
+
+
+def test_lnt004_lambda_defaults():
+    # regression: lambda default arguments were never checked
+    assert rules_of("""
+        f = lambda x, acc=[]: acc
+    """) == ["LNT004"]
+    # ... including lambdas nested inside other expressions
+    assert rules_of("""
+        def g(items):
+            return sorted(items, key=lambda x, seen={}: seen.get(x, 0))
+    """) == ["LNT004"]
+    assert rules_of("""
+        f = lambda x, acc=None: acc
     """) == []
 
 

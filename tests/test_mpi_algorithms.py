@@ -481,6 +481,7 @@ def test_tuning_cache_metrics_emitted(tmp_path):
         for _ in range(2):
             recv = np.zeros(sum(counts))
             send = np.full(counts[comm.rank], 1.0)
+            # outlier counts are the point  # analyze: ignore[PLAN102]
             yield from comm.allgatherv(send, recv, counts)
 
     cluster.run(main)
