@@ -8,7 +8,7 @@ algorithm (Fig. 8).  Measures average latency across ranks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
@@ -31,9 +31,19 @@ def allgatherv_benchmark(
     cost: Optional[CostModel] = None,
     seed: int = 0,
     repeats: int = 1,
+    fault_plan: Optional[Any] = None,
+    observe: Optional[Callable[[Cluster], None]] = None,
 ) -> AllgathervResult:
-    """Latency of one (or the mean of ``repeats``) Allgatherv calls."""
-    cluster = Cluster(nprocs, config=config, cost=cost, seed=seed)
+    """Latency of one (or the mean of ``repeats``) Allgatherv calls.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects faults;
+    ``observe`` receives the freshly built cluster before the ranks run
+    (the chaos harness uses it to attach instrumentation).
+    """
+    cluster = Cluster(nprocs, config=config, cost=cost, seed=seed,
+                      fault_plan=fault_plan)
+    if observe is not None:
+        observe(cluster)
     counts = [1] * nprocs
     counts[0] = big_doubles
     total = sum(counts)

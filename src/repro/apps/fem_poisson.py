@@ -24,12 +24,12 @@ the convergence *order*, not just "it runs".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 
-from repro.mpi import Cluster, MPIConfig
-from repro.petsc import CG, BlockJacobiPC, Layout, Vec
+from repro.mpi import Cluster, MPIConfig, RankFailedError
+from repro.petsc import CG, BlockJacobiPC, Layout, SolverCheckpoint, Vec
 from repro.petsc.aij import AIJMat
 from repro.util.costmodel import CostModel
 
@@ -110,16 +110,36 @@ def solve_poisson_fem(
     cost: Optional[CostModel] = None,
     rtol: float = 1e-10,
     seed: int = 0,
+    fault_plan: Optional[Any] = None,
+    observe: Optional[Callable[[Cluster], None]] = None,
+    checkpoint_every: int = 0,
 ) -> FEMResult:
-    """Assemble and solve on an ``n x n`` triangulated square."""
+    """Assemble and solve on an ``n x n`` triangulated square.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects faults into
+    the run; ``observe`` is called with the freshly built cluster before
+    any rank runs (the chaos harness attaches profilers through it);
+    ``checkpoint_every`` > 0 enables CG checkpoint/restart
+    (:class:`repro.petsc.checkpoint.SolverCheckpoint`) so an injected rank
+    failure during the solve can be recovered by shrinking the
+    communicator and restarting from the last checkpointed iterate.
+    """
     config = config or MPIConfig.optimized()
-    cluster = Cluster(nprocs, config=config, cost=cost, seed=seed)
+    cluster = Cluster(nprocs, config=config, cost=cost, seed=seed,
+                      fault_plan=fault_plan)
+    if observe is not None:
+        observe(cluster)
     coords, triangles = triangulate(n, n)
     unknown, nunknowns = _interior_numbering(n, n)
     nelem = len(triangles)
 
-    def main(comm):
-        lay = Layout(comm.size, nunknowns)
+    def assemble_system(comm, lay):
+        """Assemble the stiffness matrix and rhs over ``comm``'s layout.
+
+        All problem inputs (``coords``, ``triangles``) are replicated, so
+        reassembly after a communicator shrink needs no data from the
+        failed rank.
+        """
         A = AIJMat(comm, lay)
         b = Vec(comm, lay)
 
@@ -150,10 +170,29 @@ def solve_poisson_fem(
         yield from comm.cpu(len(tris) * comm.cost.flop * FLOPS_PER_ELEMENT)
         yield from A.assemble(backend=backend)
         yield from b.assemble()
+        return A, b
 
-        x = Vec(comm, lay)
-        pc = BlockJacobiPC(A)
-        result = yield from CG(A, b, x, rtol=rtol, maxits=1000, pc=pc)
+    def main(comm):
+        ckpt = SolverCheckpoint(checkpoint_every) if checkpoint_every > 0 \
+            else None
+        while True:
+            try:
+                lay = Layout(comm.size, nunknowns)
+                A, b = yield from assemble_system(comm, lay)
+                x = Vec(comm, lay)
+                if ckpt is not None:
+                    ckpt.restore(x)  # warm start after a failure
+                pc = BlockJacobiPC(A)
+                result = yield from CG(A, b, x, rtol=rtol, maxits=1000,
+                                       pc=pc, checkpoint=ckpt)
+            except RankFailedError:
+                if ckpt is None:
+                    raise
+                # recovery: shrink to the survivor group, reassemble over
+                # the new layout, restart from the last checkpoint
+                comm = yield from comm.shrink()
+                continue
+            break
 
         # nodal error against the manufactured solution
         start, end = lay.start(comm.rank), lay.end(comm.rank)
@@ -167,8 +206,16 @@ def solve_poisson_fem(
         err = yield from comm.allreduce(err, op=max)
         return result, err
 
-    outcomes = cluster.run(main)
-    result, err = outcomes[0]
+    if fault_plan is not None:
+        outcomes = cluster.run(main, return_exceptions=True)
+        survivors = [o for o in outcomes
+                     if not isinstance(o, BaseException)]
+        if not survivors:
+            raise next(o for o in outcomes if isinstance(o, BaseException))
+        result, err = survivors[0]
+    else:
+        outcomes = cluster.run(main)
+        result, err = outcomes[0]
     return FEMResult(
         nprocs=nprocs,
         n=n,

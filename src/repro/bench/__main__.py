@@ -61,11 +61,15 @@ def _parse(argv: list[str]) -> argparse.Namespace:
                         default="tuning_table.json",
                         help="where --autotune writes the table "
                              "(default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the simulator's CPU-jitter RNG; "
+                             "one value reproduces a whole run bit-for-bit "
+                             "(default: %(default)s)")
     return parser.parse_args(argv)
 
 
-def _figure_kwargs(name: str, quick: bool) -> dict:
-    kwargs = {}
+def _figure_kwargs(name: str, quick: bool, seed: int = 0) -> dict:
+    kwargs = {"seed": seed}
     if quick and name == "fig15":
         kwargs["procs"] = (2, 4, 8, 16, 32)
     if quick and name == "fig16":
@@ -173,7 +177,8 @@ def main(argv: list[str]) -> int:
                     print_figure(fig)
                     print()
                 continue
-            fig = getattr(figures, name)(**_figure_kwargs(name, args.quick))
+            fig = getattr(figures, name)(
+                **_figure_kwargs(name, args.quick, args.seed))
             produced.append(fig)
             print_figure(fig)
             print()

@@ -31,15 +31,15 @@ FIG17_PROCS = (4, 8, 16, 32, 64, 128)
 
 
 def fig12(sizes: Sequence[int] = TRANSPOSE_SIZES,
-          cost: Optional[CostModel] = None) -> FigureData:
+          cost: Optional[CostModel] = None, seed: int = 0) -> FigureData:
     """Matrix-transpose latency, baseline vs optimised (Fig. 12)."""
     fig = FigureData(
         "Fig12", "Matrix transpose benchmark latency (ms)",
         ["matrix", "MVAPICH2-0.9.5", "MVAPICH2-New", "improvement %"],
     )
     for n in sizes:
-        rb = transpose_benchmark(n, BASE, cost=cost)
-        ro = transpose_benchmark(n, OPT, cost=cost)
+        rb = transpose_benchmark(n, BASE, cost=cost, seed=seed)
+        ro = transpose_benchmark(n, OPT, cost=cost, seed=seed)
         assert rb.correct and ro.correct
         fig.add_row(
             f"{n}x{n}", rb.latency * 1e3, ro.latency * 1e3,
@@ -49,7 +49,8 @@ def fig12(sizes: Sequence[int] = TRANSPOSE_SIZES,
 
 
 def fig13(sizes: Sequence[int] = TRANSPOSE_SIZES,
-          cost: Optional[CostModel] = None) -> tuple[FigureData, FigureData]:
+          cost: Optional[CostModel] = None,
+          seed: int = 0) -> tuple[FigureData, FigureData]:
     """Datatype-processing time breakdown, % of total (Fig. 13a/13b)."""
     figs = []
     for config, label in ((BASE, "current approach"), (OPT, "dual-context look-ahead")):
@@ -59,7 +60,7 @@ def fig13(sizes: Sequence[int] = TRANSPOSE_SIZES,
             ["matrix", "comm %", "pack %", "search %"],
         )
         for n in sizes:
-            r = transpose_benchmark(n, config, cost=cost)
+            r = transpose_benchmark(n, config, cost=cost, seed=seed)
             fr = r.breakdown_fractions()
             # fold the (tiny) look-ahead share into pack, as the paper does
             fig.add_row(
@@ -73,15 +74,15 @@ def fig13(sizes: Sequence[int] = TRANSPOSE_SIZES,
 
 
 def fig14a(sizes: Sequence[int] = FIG14A_SIZES, nprocs: int = 64,
-           cost: Optional[CostModel] = None) -> FigureData:
+           cost: Optional[CostModel] = None, seed: int = 0) -> FigureData:
     """Allgatherv latency vs rank-0 message size, 64 procs (Fig. 14a)."""
     fig = FigureData(
         "Fig14a", f"MPI_Allgatherv latency vs problem size ({nprocs} procs, usec)",
         ["doubles", "MVAPICH2-0.9.5", "MVAPICH2-New", "improvement %"],
     )
     for doubles in sizes:
-        rb = allgatherv_benchmark(nprocs, doubles, BASE, cost=cost)
-        ro = allgatherv_benchmark(nprocs, doubles, OPT, cost=cost)
+        rb = allgatherv_benchmark(nprocs, doubles, BASE, cost=cost, seed=seed)
+        ro = allgatherv_benchmark(nprocs, doubles, OPT, cost=cost, seed=seed)
         assert rb.correct and ro.correct
         fig.add_row(
             doubles, rb.latency * 1e6, ro.latency * 1e6,
@@ -91,15 +92,15 @@ def fig14a(sizes: Sequence[int] = FIG14A_SIZES, nprocs: int = 64,
 
 
 def fig14b(procs: Sequence[int] = FIG14B_PROCS, big_doubles: int = 4096,
-           cost: Optional[CostModel] = None) -> FigureData:
+           cost: Optional[CostModel] = None, seed: int = 0) -> FigureData:
     """Allgatherv latency vs system size, rank 0 sends 32 KB (Fig. 14b)."""
     fig = FigureData(
         "Fig14b", "MPI_Allgatherv latency vs system size (32 KB outlier, usec)",
         ["procs", "MVAPICH2-0.9.5", "MVAPICH2-New", "improvement %"],
     )
     for p in procs:
-        rb = allgatherv_benchmark(p, big_doubles, BASE, cost=cost)
-        ro = allgatherv_benchmark(p, big_doubles, OPT, cost=cost)
+        rb = allgatherv_benchmark(p, big_doubles, BASE, cost=cost, seed=seed)
+        ro = allgatherv_benchmark(p, big_doubles, OPT, cost=cost, seed=seed)
         assert rb.correct and ro.correct
         fig.add_row(
             p, rb.latency * 1e6, ro.latency * 1e6,
@@ -109,7 +110,7 @@ def fig14b(procs: Sequence[int] = FIG14B_PROCS, big_doubles: int = 4096,
 
 
 def fig15(procs: Sequence[int] = FIG15_PROCS,
-          cost: Optional[CostModel] = None) -> FigureData:
+          cost: Optional[CostModel] = None, seed: int = 0) -> FigureData:
     """Alltoallw nearest-neighbour latency vs system size (Fig. 15).
 
     Runs of <= 32 ranks fit on one (homogeneous) cluster; larger runs span
@@ -120,8 +121,8 @@ def fig15(procs: Sequence[int] = FIG15_PROCS,
         ["procs", "MVAPICH2-0.9.5", "MVAPICH2-New", "improvement %"],
     )
     for p in procs:
-        rb = alltoallw_ring_benchmark(p, BASE, cost=cost)
-        ro = alltoallw_ring_benchmark(p, OPT, cost=cost)
+        rb = alltoallw_ring_benchmark(p, BASE, cost=cost, seed=seed)
+        ro = alltoallw_ring_benchmark(p, OPT, cost=cost, seed=seed)
         assert rb.correct and ro.correct
         fig.add_row(
             p, rb.latency * 1e6, ro.latency * 1e6,
@@ -131,7 +132,7 @@ def fig15(procs: Sequence[int] = FIG15_PROCS,
 
 
 def fig16(procs: Sequence[int] = FIG16_PROCS,
-          cost: Optional[CostModel] = None) -> FigureData:
+          cost: Optional[CostModel] = None, seed: int = 0) -> FigureData:
     """PETSc vector-scatter benchmark (Fig. 16a/16b).
 
     Weak scaling: per-process element count constant.  Columns give the
@@ -144,9 +145,9 @@ def fig16(procs: Sequence[int] = FIG16_PROCS,
          "new improvement %", "hand-tuned improvement %"],
     )
     for p in procs:
-        rh = vecscatter_benchmark(p, "hand_tuned", BASE, cost=cost)
-        rb = vecscatter_benchmark(p, "datatype", BASE, cost=cost)
-        ro = vecscatter_benchmark(p, "datatype", OPT, cost=cost)
+        rh = vecscatter_benchmark(p, "hand_tuned", BASE, cost=cost, seed=seed)
+        rb = vecscatter_benchmark(p, "datatype", BASE, cost=cost, seed=seed)
+        ro = vecscatter_benchmark(p, "datatype", OPT, cost=cost, seed=seed)
         assert rh.correct and rb.correct and ro.correct
         fig.add_row(
             p, rh.latency * 1e6, rb.latency * 1e6, ro.latency * 1e6,
@@ -158,7 +159,7 @@ def fig16(procs: Sequence[int] = FIG16_PROCS,
 
 def fig17(procs: Sequence[int] = FIG17_PROCS, grid=(100, 100, 100),
           levels: int = 3, fixed_cycles: int = 3,
-          cost: Optional[CostModel] = None) -> FigureData:
+          cost: Optional[CostModel] = None, seed: int = 0) -> FigureData:
     """3-D Laplacian multigrid solver execution time (Fig. 17a/17b).
 
     100^3 grid, one degree of freedom, three multigrid levels, as in the
@@ -176,7 +177,7 @@ def fig17(procs: Sequence[int] = FIG17_PROCS, grid=(100, 100, 100),
         for impl in ("hand-tuned", "MVAPICH2-0.9.5", "MVAPICH2-New"):
             results[impl] = laplacian3d_benchmark(
                 p, impl, grid=grid, levels=levels,
-                fixed_cycles=fixed_cycles, cost=cost,
+                fixed_cycles=fixed_cycles, cost=cost, seed=seed,
             )
         tb = results["MVAPICH2-0.9.5"].execution_time
         to = results["MVAPICH2-New"].execution_time

@@ -17,18 +17,28 @@ see :class:`repro.mpi.comm.Cluster`.
 
 from repro.mpi.config import MPIConfig
 from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Cluster, Comm, MPIError, TruncationError
+from repro.mpi.errors import (
+    CommRevokedError,
+    FaultToleranceError,
+    RankFailedError,
+    TransportError,
+)
 from repro.mpi.request import Request, Status
 from repro.mpi.io import File
 from repro.mpi.rma import Win
 from repro.mpi.trace import MessageTrace
-from repro.mpi.pack import mpi_pack, mpi_unpack, pack_size
+from repro.mpi.pack import mpi_pack, mpi_unpack, pack_size, payload_crc
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "Cluster",
     "Comm",
+    "CommRevokedError",
+    "FaultToleranceError",
     "File",
+    "RankFailedError",
+    "TransportError",
     "MessageTrace",
     "MPIConfig",
     "MPIError",
@@ -39,4 +49,5 @@ __all__ = [
     "mpi_pack",
     "mpi_unpack",
     "pack_size",
+    "payload_crc",
 ]

@@ -26,6 +26,7 @@ unpacked into the receive buffer's typed layout on delivery.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Callable, Generator, List, Optional, Sequence
 
 import numpy as np
@@ -34,11 +35,17 @@ from repro.datatypes.engine import make_engine, unpack_stage_cost
 from repro.datatypes.packing import TypedBuffer
 from repro.datatypes.typemap import BYTE, Datatype, primitive_for, sig_crc
 from repro.mpi.config import MPIConfig
+from repro.mpi.errors import (
+    CommRevokedError,
+    FaultToleranceError,
+    RankFailedError,
+    TransportError,
+)
 from repro.mpi.request import Request, Status
 from repro.prof import NULL_PROFILER
 from repro.prof.session import attach_if_enabled
 from repro.simtime.engine import Delay, Engine, SimFuture
-from repro.simtime.network import NetworkModel
+from repro.simtime.network import NetworkModel, WireOutcome
 from repro.util.costmodel import CostLedger, CostModel
 
 ANY_SOURCE = -1
@@ -50,6 +57,41 @@ _COLLECTIVE_TAG_BASE = 1_000_000
 
 class MPIError(RuntimeError):
     """Erroneous use of the message-passing API."""
+
+
+def payload_crc(data: Any) -> int:
+    """CRC32 of a message payload, as computed by the reliable transport.
+
+    Packed payloads (numpy byte arrays from :meth:`TypedBuffer.pack`) are
+    checksummed over their raw bytes; control-plane python objects over
+    their ``repr``.  Exposed so tests and the chaos harness can verify
+    end-to-end payload integrity independently of the transport.
+    """
+    if isinstance(data, np.ndarray):
+        return zlib.crc32(data.tobytes()) & 0xFFFFFFFF
+    return zlib.crc32(repr(data).encode("utf-8")) & 0xFFFFFFFF
+
+
+def _first_of(engine: Engine, *futures: SimFuture) -> Generator:
+    """Yieldable: resume as soon as ANY of ``futures`` resolves.
+
+    Unlike yielding a future directly, this does not retrieve results or
+    raise stored exceptions -- the caller re-inspects the futures it cares
+    about afterwards.  Used to race a rendezvous match against a liveness
+    poll timer.
+    """
+    for fut in futures:
+        if fut.done:
+            return
+    winner = engine.future("first-of")
+
+    def wake(_fut: SimFuture) -> None:
+        if not winner.done:
+            winner.set_result(None)
+
+    for fut in futures:
+        fut.add_done_callback(wake)
+    yield winner
 
 
 class TruncationError(MPIError):
@@ -89,6 +131,7 @@ class _SendRecord:
     __slots__ = (
         "src", "dst", "tag", "ctx", "data", "nbytes", "is_obj",
         "match_fut", "recv_rec", "sent_fut", "recv_fut", "arrived", "sig",
+        "seq", "crc", "transport_exc",
     )
 
     def __init__(self, engine: Engine, src: int, dst: int, tag: int,
@@ -107,6 +150,12 @@ class _SendRecord:
         self.sent_fut = engine.future(f"sent {src}->{dst} tag={tag}")
         self.recv_fut: Optional[SimFuture] = None
         self.arrived = False
+        #: reliable-transport state: sequence number and payload checksum
+        #: (assigned by the transport; None on the fast default path)
+        self.seq: Optional[int] = None
+        self.crc: Optional[int] = None
+        #: terminal transport failure; poisons a late-binding receive
+        self.transport_exc: Optional[BaseException] = None
 
 
 class _RecvRecord:
@@ -153,6 +202,7 @@ class Cluster:
         cost: Optional[CostModel] = None,
         seed: int = 0,
         heterogeneous: Optional[bool] = None,
+        fault_plan: Optional[Any] = None,
     ):
         self.nranks = nranks
         self.config = config or MPIConfig.optimized()
@@ -169,6 +219,26 @@ class Cluster:
         #: the instrumentation sink; NULL_PROFILER until a
         #: :class:`repro.prof.Profiler` is attached (no-op, near-zero cost)
         self.profiler = NULL_PROFILER
+        # -- fault-tolerance state (inert unless faults are injected) -----
+        #: cluster-global ranks declared failed (crash semantics)
+        self.failed_ranks: set = set()
+        #: cluster-global ranks that hang: silently stopped, not yet failed
+        self.hung_ranks: set = set()
+        #: revoked communicator contexts -> cause exception (or None)
+        self._revoked: dict = {}
+        #: grank -> main SimProcess (populated by :meth:`run`)
+        self._rank_procs: dict = {}
+        #: reliable-transport sequence numbers and per-rank dedupe sets
+        self._msg_seq = 0
+        self._seen_seqs: List[set] = [set() for _ in range(nranks)]
+        #: the attached :class:`repro.faults.injector.FaultInjector` (or None)
+        self.fault_injector: Optional[Any] = None
+        if fault_plan is not None:
+            # imported lazily: repro.faults depends on repro.mpi.errors only,
+            # but keeping the import out of module scope avoids any cycle
+            from repro.faults.injector import FaultInjector
+            self.fault_injector = FaultInjector(fault_plan, self)
+            self.fault_injector.install()
         # wire transfers fan out through the observer machinery ("transfer")
         self.net.add_transfer_listener(self._on_transfer)
         self._comms = [Comm(self, r) for r in range(nranks)]
@@ -218,12 +288,37 @@ class Cluster:
         """Simulated seconds since the job started."""
         return self.engine.now
 
-    def run(self, fn: Callable[..., Generator], *args: Any) -> List[Any]:
-        """Spawn ``fn(comm, *args)`` on every rank; run; return rank results."""
-        return self.engine.run_all(
-            [fn(self._comms[r], *args) for r in range(self.nranks)],
-            names=[f"rank{r}" for r in range(self.nranks)],
-        )
+    def run(self, fn: Callable[..., Generator], *args: Any,
+            return_exceptions: bool = False) -> List[Any]:
+        """Spawn ``fn(comm, *args)`` on every rank; run; return rank results.
+
+        With ``return_exceptions=True`` a rank that terminated with an
+        exception (e.g. a :class:`RankFailedError` from an injected crash)
+        contributes the exception object to the result list instead of
+        re-raising it -- the fault-tolerant analogue of letting the job
+        finish with some ranks dead.  The default re-raises the first
+        failing rank's exception, exactly like ``Engine.run_all``.
+        """
+        procs = [
+            self.engine.spawn(fn(self._comms[r], *args), f"rank{r}")
+            for r in range(self.nranks)
+        ]
+        self._rank_procs = {r: procs[r] for r in range(self.nranks)}
+        if return_exceptions:
+            # register as a joiner on every rank so a failing rank parks
+            # its exception for collection instead of aborting the engine
+            for proc in procs:
+                proc.add_done_callback(lambda _p: None)
+        self.engine.run()
+        results: List[Any] = []
+        for proc in procs:
+            if proc.exception is not None:
+                if not return_exceptions:
+                    raise proc.exception
+                results.append(proc.exception)
+            else:
+                results.append(proc.result)
+        return results
 
     def ledger_total(self, category: str) -> float:
         return sum(ledger.get(category) for ledger in self.ledgers)
@@ -231,26 +326,198 @@ class Cluster:
     def utilization_report(self) -> dict:
         """Post-run statistics: wall (simulated) time, wire traffic, link
         occupancy and per-category CPU shares -- the numbers an MPI
-        profiler would summarise."""
-        elapsed = self.elapsed or 1.0
+        profiler would summarise.
+
+        A zero-elapsed run (nothing ever advanced the clock) reports 0.0
+        link utilization explicitly rather than dividing by a fake
+        1-second wall time.
+        """
+        elapsed = self.elapsed
         send_busy = [p.busy_time for p in self.net.send_ports]
         recv_busy = [p.busy_time for p in self.net.recv_ports]
         categories = sorted({k for led in self.ledgers for k in led.totals})
         return {
-            "elapsed": self.elapsed,
+            "elapsed": elapsed,
             "messages": self.net.messages_on_wire,
             "bytes": self.net.bytes_on_wire,
-            "max_send_link_utilization": max(send_busy) / elapsed if send_busy else 0.0,
-            "max_recv_link_utilization": max(recv_busy) / elapsed if recv_busy else 0.0,
+            "max_send_link_utilization": (
+                max(send_busy) / elapsed if send_busy and elapsed > 0 else 0.0
+            ),
+            "max_recv_link_utilization": (
+                max(recv_busy) / elapsed if recv_busy and elapsed > 0 else 0.0
+            ),
             "cpu_seconds_by_category": {
                 c: self.ledger_total(c) for c in categories
             },
         }
 
+    # -- fault management (repro.faults; docs/FAULTS.md) ---------------------
+
+    def fail_rank(self, grank: int, reason: str = "injected crash") -> None:
+        """Crash cluster-global rank ``grank`` at the current simulated time.
+
+        The rank's main process is killed with a :class:`RankFailedError`
+        (its ``finally`` blocks run, releasing any held resources), and
+        every pending operation a survivor could block on forever is
+        poisoned with the same error:
+
+        - receives posted by survivors naming ``grank`` as the source,
+        - unmatched sends to or from ``grank`` (their conduits terminate),
+        - probes waiting for a message from ``grank``.
+
+        Messages that had already *matched* keep flowing -- the simulated
+        network is store-and-forward -- so in-flight deliveries complete.
+        Idempotent: failing an already-failed rank is a no-op.
+        """
+        if grank in self.failed_ranks:
+            return
+        if not 0 <= grank < self.nranks:
+            raise ValueError(f"rank out of range: {grank}")
+        self.failed_ranks.add(grank)
+        self.hung_ranks.discard(grank)
+        if self.profiler.enabled:
+            self.profiler.count("repro_rank_failures_total")
+        self._notify("rank_failed", grank, reason)
+        proc = self._rank_procs.get(grank)
+        if proc is not None:
+            self.engine.kill(proc, RankFailedError(grank, reason))
+        self._sweep_failed_rank(grank, reason)
+
+    def hang_rank(self, grank: int, detect_after: Optional[float] = None,
+                  reason: str = "injected hang") -> None:
+        """Silently stop ``grank``'s main process (a hang, not a crash).
+
+        No exception is delivered and no queues are swept: partners block
+        exactly as they would on a real unresponsive peer, until either
+        the reliable transport times out (:class:`TransportError`) or --
+        when ``detect_after`` is given -- the failure detector declares
+        the rank failed after that many simulated seconds and converts
+        the hang into a crash via :meth:`fail_rank`.
+        """
+        if grank in self.failed_ranks or grank in self.hung_ranks:
+            return
+        if not 0 <= grank < self.nranks:
+            raise ValueError(f"rank out of range: {grank}")
+        self.hung_ranks.add(grank)
+        self._notify("rank_hung", grank, reason)
+        proc = self._rank_procs.get(grank)
+        if proc is not None:
+            self.engine.kill(proc, None)
+        if detect_after is not None:
+            self.engine.schedule(
+                detect_after,
+                lambda: self.fail_rank(
+                    grank, f"{reason} (declared failed by the detector)"
+                ),
+            )
+
+    def revoke_ctx(self, ctx: Any, cause: Optional[BaseException] = None) -> None:
+        """Revoke communicator context ``ctx`` (``MPI_Comm_revoke``).
+
+        Every pending operation on the context is completed with a
+        :class:`CommRevokedError` carrying ``cause`` (typically the
+        :class:`RankFailedError` that triggered the revocation), and any
+        operation posted on it afterwards fails immediately.  This is how
+        the first rank to observe a failure inside a collective releases
+        every other rank blocked in the same collective.  Idempotent.
+        """
+        if ctx in self._revoked:
+            return
+        self._revoked[ctx] = cause
+        for dst in range(self.nranks):
+            keep_r: List[_RecvRecord] = []
+            for rrec in self._posted[dst]:
+                if rrec.ctx == ctx:
+                    if not rrec.future.done:
+                        rrec.future.set_exception(CommRevokedError(ctx, cause))
+                else:
+                    keep_r.append(rrec)
+            self._posted[dst][:] = keep_r
+            keep_s: List[_SendRecord] = []
+            for rec in self._unexpected[dst]:
+                if rec.ctx == ctx:
+                    if not rec.match_fut.done:
+                        rec.match_fut.set_exception(CommRevokedError(ctx, cause))
+                    if not rec.sent_fut.done:
+                        rec.sent_fut.set_exception(CommRevokedError(ctx, cause))
+                else:
+                    keep_s.append(rec)
+            self._unexpected[dst][:] = keep_s
+        waiters = getattr(self, "_probe_waiters", None)
+        if waiters:
+            for entries in waiters.values():
+                keep_p = []
+                for probe_rrec, fut in entries:
+                    if probe_rrec.ctx == ctx and not fut.done:
+                        fut.set_exception(CommRevokedError(ctx, cause))
+                    else:
+                        keep_p.append((probe_rrec, fut))
+                entries[:] = keep_p
+
+    def _sweep_failed_rank(self, grank: int, reason: str) -> None:
+        """Poison every pending operation that rank ``grank``'s crash
+        orphaned (see :meth:`fail_rank` for the exact rules)."""
+        for dst in range(self.nranks):
+            if dst == grank:
+                # the dead rank's own posted receives: nobody waits on them
+                self._posted[dst].clear()
+                continue
+            keep_r: List[_RecvRecord] = []
+            for rrec in self._posted[dst]:
+                if rrec.source == grank:
+                    if not rrec.future.done:
+                        rrec.future.set_exception(RankFailedError(grank, reason))
+                else:
+                    keep_r.append(rrec)
+            self._posted[dst][:] = keep_r
+        for dst in range(self.nranks):
+            keep_s: List[_SendRecord] = []
+            for rec in self._unexpected[dst]:
+                if dst == grank or rec.src == grank:
+                    if not rec.match_fut.done:
+                        rec.match_fut.set_exception(RankFailedError(grank, reason))
+                    if not rec.sent_fut.done:
+                        rec.sent_fut.set_exception(RankFailedError(grank, reason))
+                else:
+                    keep_s.append(rec)
+            self._unexpected[dst][:] = keep_s
+        waiters = getattr(self, "_probe_waiters", None)
+        if waiters:
+            for dst, entries in waiters.items():
+                if dst == grank:
+                    entries.clear()
+                    continue
+                keep_p = []
+                for probe_rrec, fut in entries:
+                    if probe_rrec.source == grank and not fut.done:
+                        fut.set_exception(RankFailedError(grank, reason))
+                    else:
+                        keep_p.append((probe_rrec, fut))
+                entries[:] = keep_p
+
     # -- matching ------------------------------------------------------------
 
     def _post_send(self, rec: _SendRecord) -> None:
         self._notify("send_posted", rec)
+        if self._revoked and rec.ctx in self._revoked:
+            # the ctx was revoked while the sender was mid-call (e.g.
+            # suspended in datatype-processing CPU charges): fail the send
+            # here, the authoritative gate, so no record ever enters the
+            # matching queues of a dead context
+            exc = CommRevokedError(rec.ctx, self._revoked[rec.ctx])
+            if not rec.sent_fut.done:
+                rec.sent_fut.set_exception(exc)
+            if not rec.match_fut.done:
+                rec.match_fut.set_exception(exc)
+            return
+        if rec.dst in self.failed_ranks:
+            # fail-fast: a send to a dead rank errors instead of buffering
+            exc = RankFailedError(rec.dst, "destination rank has failed")
+            if not rec.sent_fut.done:
+                rec.sent_fut.set_exception(exc)
+            if not rec.match_fut.done:
+                rec.match_fut.set_exception(exc)
+            return
         posted = self._posted[rec.dst]
         for i, rrec in enumerate(posted):
             if rrec.matches(rec):
@@ -268,6 +535,17 @@ class Cluster:
 
     def _post_recv(self, dst: int, rrec: _RecvRecord) -> None:
         self._notify("recv_posted", dst, rrec)
+        if self._revoked and rrec.ctx in self._revoked:
+            rrec.future.set_exception(
+                CommRevokedError(rrec.ctx, self._revoked[rrec.ctx])
+            )
+            return
+        if rrec.source != ANY_SOURCE and rrec.source in self.failed_ranks:
+            # fail-fast: a receive naming a dead source can never complete
+            rrec.future.set_exception(
+                RankFailedError(rrec.source, "source rank has failed")
+            )
+            return
         unexpected = self._unexpected[dst]
         for i, rec in enumerate(unexpected):
             if rrec.matches(rec):
@@ -277,6 +555,11 @@ class Cluster:
         self._posted[dst].append(rrec)
 
     def _bind(self, rec: _SendRecord, rrec: _RecvRecord) -> None:
+        if rec.transport_exc is not None:
+            # the reliable transport already gave up on this message; a
+            # receive binding to it late inherits the terminal failure
+            rrec.future.set_exception(rec.transport_exc)
+            return
         if not rec.is_obj:
             capacity = rrec.tb.nbytes if rrec.tb is not None else 0
             if rec.nbytes > capacity:
@@ -360,6 +643,66 @@ class Comm:
         new_rank = [r for _k, r in members].index(self.rank)
         return Comm(self.cluster, new_rank, group, (ctx, color))
 
+    # -- fault tolerance (ULFM-style; see docs/FAULTS.md) ---------------------
+
+    def _check_revoked(self) -> None:
+        """Raise :class:`CommRevokedError` if this context was revoked."""
+        revoked = self.cluster._revoked
+        if revoked and self.ctx in revoked:
+            raise CommRevokedError(self.ctx, revoked[self.ctx])
+
+    @property
+    def revoked(self) -> bool:
+        """True once :meth:`revoke` ran (here or on any rank) for this ctx."""
+        return self.ctx in self.cluster._revoked
+
+    def revoke(self, cause: Optional[BaseException] = None) -> None:
+        """Revoke this communicator (``MPIX_Comm_revoke``): every pending
+        and future operation on its context fails with
+        :class:`CommRevokedError` on *every* rank.  Local call, global
+        effect -- this is how one rank releases peers blocked on a dead
+        process.  Idempotent."""
+        self.cluster.revoke_ctx(self.ctx, cause)
+
+    def _survivors(self) -> List[int]:
+        """Cluster-global ranks of this group that are still alive."""
+        cluster = self.cluster
+        dead = cluster.failed_ranks | cluster.hung_ranks
+        return [g for g in self.group if g not in dead]
+
+    def shrink(self) -> Generator:
+        """A new communicator over the surviving subgroup
+        (``MPIX_Comm_shrink``).  Collective over the survivors and usable
+        even when this communicator is revoked: the replacement gets a
+        fresh context derived deterministically from the survivor set, so
+        all survivors construct the same one without communicating over
+        the broken context.  A barrier on the new communicator confirms
+        everyone arrived."""
+        survivors = self._survivors()
+        if self.grank not in survivors:
+            raise RankFailedError(self.grank, "shrinking rank is itself dead")
+        self._ctx_seq += 1
+        ctx = ("shrunk", self.ctx, self._ctx_seq, tuple(survivors))
+        new = Comm(self.cluster, survivors.index(self.grank), survivors, ctx)
+        yield from new.barrier()
+        return new
+
+    def agree(self, flag: bool = True) -> Generator:
+        """Fault-tolerant agreement (``MPIX_Comm_agree``): the logical AND
+        of ``flag`` across all surviving ranks, over an ephemeral
+        survivor-only context so it completes even after failures or
+        revocation."""
+        survivors = self._survivors()
+        if self.grank not in survivors:
+            raise RankFailedError(self.grank, "agreeing rank is itself dead")
+        self._ctx_seq += 1
+        ctx = ("agree", self.ctx, self._ctx_seq, tuple(survivors))
+        sc = Comm(self.cluster, survivors.index(self.grank), survivors, ctx)
+        result = yield from sc.allreduce(
+            bool(flag), lambda a, b: bool(a and b)
+        )
+        return result
+
     # -- CPU accounting --------------------------------------------------------
 
     def cpu(self, seconds: float, category: str = "compute") -> Generator:
@@ -390,6 +733,7 @@ class Comm:
         """
         if not 0 <= dest < self.size:
             raise MPIError(f"invalid destination rank {dest}")
+        self._check_revoked()
         tb = as_typed(buffer, datatype, count, offset_bytes)
         nbytes = tb.nbytes
         prof = self.cluster.profiler
@@ -424,8 +768,9 @@ class Comm:
                               sig=tb.signature())
             self.cluster._post_send(rec)
             self.engine.spawn(self._deliver(rec), f"deliver {self.rank}->{dest}")
-            if nbytes <= self.config.eager_threshold:
-                # eager: the payload is buffered; the send is already complete
+            if nbytes <= self.config.eager_threshold and not rec.sent_fut.done:
+                # eager: the payload is buffered; the send is already
+                # complete (unless _post_send already failed it fail-fast)
                 rec.sent_fut.set_result(None)
             req = Request(rec.sent_fut, "send", profiler=prof, rank=self.grank)
             self.cluster._notify("request", self.grank, req)
@@ -464,6 +809,7 @@ class Comm:
         ``wait()`` yields a :class:`Status`."""
         if source != ANY_SOURCE and not 0 <= source < self.size:
             raise MPIError(f"invalid source rank {source}")
+        self._check_revoked()
         tb = as_typed(buffer, datatype, count, offset_bytes)
         fut = self.engine.future(f"recv@{self.rank} tag={tag}")
         gsource = source if source == ANY_SOURCE else self._to_global(source)
@@ -536,17 +882,20 @@ class Comm:
         nominal wire size for timing purposes."""
         if not 0 <= dest < self.size:
             raise MPIError(f"invalid destination rank {dest}")
+        self._check_revoked()
         rec = _SendRecord(self.engine, self.grank, self._to_global(dest), tag,
                           self.ctx, value, nbytes, is_obj=True)
         self.cluster._post_send(rec)
         self.engine.spawn(self._deliver(rec), f"deliver-obj {self.rank}->{dest}")
-        rec.sent_fut.set_result(None)
+        if not rec.sent_fut.done:
+            rec.sent_fut.set_result(None)
         # control-plane sends complete eagerly; dropping the request is fine,
         # so it is exempt from leak tracking (kind "send_obj")
         return Request(rec.sent_fut, "send_obj")
 
     def recv_obj(self, source: int, tag: int) -> Generator:
         """Receive a python object; returns the value."""
+        self._check_revoked()
         fut = self.engine.future(f"recv-obj@{self.rank} tag={tag}")
         gsource = source if source == ANY_SOURCE else self._to_global(source)
         rrec = _RecvRecord(gsource, tag, self.ctx, None, fut, is_obj=True, comm=self)
@@ -557,7 +906,27 @@ class Comm:
     # -- delivery ------------------------------------------------------------------
 
     def _deliver(self, rec: _SendRecord) -> Generator:
-        """Background process that moves one message across the wire."""
+        """Background conduit process that moves one message to its receiver.
+
+        Dispatches to the reliable transport when
+        ``MPIConfig.reliable_transport`` is set; the default path is the
+        historical best-effort delivery, bit-for-bit and
+        schedule-identical to the pre-fault stack.  Fault-tolerance
+        exceptions (peer crash, context revocation, retransmit
+        exhaustion) terminate the conduit quietly -- the endpoints were
+        already notified through their own futures by the sweep that
+        raised them.
+        """
+        try:
+            if self.config.reliable_transport:
+                yield from self._deliver_reliable(rec)
+            else:
+                yield from self._deliver_basic(rec)
+        except FaultToleranceError:
+            pass
+
+    def _deliver_basic(self, rec: _SendRecord) -> Generator:
+        """Best-effort delivery (the historical, fault-free fast path)."""
         cost = self.cost
         prof = self.cluster.profiler
         rendezvous = rec.nbytes > self.config.eager_threshold
@@ -584,16 +953,30 @@ class Comm:
                 pos += chunk
         self.cluster.ledgers[rec.src].charge("comm", self.engine.now - start)
         rec.arrived = True
-        if rendezvous:
+        if rendezvous and not rec.sent_fut.done:
             rec.sent_fut.set_result(None)
 
+        yield from self._finish_delivery(rec)
+
+    def _finish_delivery(self, rec: _SendRecord) -> Generator:
+        """Receiver side of a delivery whose payload reached ``rec.dst``:
+        wait for the match, charge the unpack, move the bytes, resolve the
+        receive future.  Shared by the best-effort and reliable paths."""
+        cost = self.cost
+        prof = self.cluster.profiler
         if not rec.match_fut.done:
             yield rec.match_fut
         rrec = rec.recv_rec
-        assert rrec is not None
+        if rrec is None:
+            # the match was poisoned (peer crash / revocation) after the
+            # payload was already on the wire; retrieve the stored
+            # exception, which terminates this conduit
+            yield rec.match_fut
+            raise MPIError("matched send record lost its receive")
 
         if rec.is_obj:
-            rrec.future.set_result(rec.data)
+            if not rrec.future.done:
+                rrec.future.set_result(rec.data)
             return
 
         # receiver-side unpack: charged on the receiver's CPU.  The span
@@ -624,29 +1007,206 @@ class Comm:
                     "partial delivery into a noncontiguous receive type is "
                     "not supported"
                 )
-        rrec.future.set_result(
-            Status(rrec.comm._to_local(rec.src), rec.tag, rec.nbytes)
-        )
+        if not rrec.future.done:
+            rrec.future.set_result(
+                Status(rrec.comm._to_local(rec.src), rec.tag, rec.nbytes)
+            )
+
+    # -- reliable delivery (MPIConfig.reliable_transport) ---------------------
+
+    def _deliver_reliable(self, rec: _SendRecord) -> Generator:
+        """Go-back-N-style reliable delivery of one message.
+
+        The payload carries a cluster-unique sequence number and a CRC32
+        over its packed bytes.  Each wire attempt can be dropped,
+        corrupted (receiver's checksum rejects it silently) or duplicated
+        (receiver dedupes by sequence number) by the fault injector; the
+        receiver acknowledges clean arrivals with a zero-byte control
+        message that itself rides the faulty wire.  The sender retransmits
+        on an :meth:`Engine.timeout` timer with capped exponential
+        backoff, and surfaces :class:`TransportError` once
+        ``MPIConfig.max_retransmits`` attempts failed to produce an
+        acknowledged, checksum-clean delivery.
+        """
+        cluster = self.cluster
+        cfg = self.config
+        engine = self.engine
+        prof = cluster.profiler
+        cluster._msg_seq += 1
+        rec.seq = cluster._msg_seq
+        rec.crc = payload_crc(rec.data)
+        sig_meta = None if rec.sig is None else sig_crc(rec.sig)
+        rendezvous = rec.nbytes > cfg.eager_threshold
+
+        if rendezvous:
+            t_posted = engine.now
+            yield from self._reliable_await_match(rec)
+            if prof.enabled:
+                prof.observe("repro_rendezvous_stall_seconds",
+                             engine.now - t_posted)
+
+        start = engine.now
+        timeout = cfg.retransmit_timeout
+        acked = False
+        attempts = 0
+        while attempts < cfg.max_retransmits:
+            attempts += 1
+            if attempts > 1 and prof.enabled:
+                prof.count("repro_retransmits_total")
+            if rec.dst in cluster.failed_ranks:
+                self._fail_send(rec, RankFailedError(
+                    rec.dst, "destination failed during delivery"))
+                return
+            outcome = yield from self._reliable_wire(rec, sig_meta)
+            alive = (rec.dst not in cluster.failed_ranks
+                     and rec.dst not in cluster.hung_ranks)
+            if outcome.dropped or not alive:
+                pass  # lost on the wire (or nobody home); await the timer
+            elif outcome.corrupted:
+                # the receiver's CRC check rejects the payload silently;
+                # the sender only learns through the missing ack
+                if prof.enabled:
+                    prof.count("repro_checksum_failures_total")
+            else:
+                # clean arrival; receiver dedupes by sequence number (a
+                # wire-duplicated packet, or a retransmission whose first
+                # copy's ack was lost, is delivered exactly once)
+                cluster._seen_seqs[rec.dst].add(rec.seq)
+                ack = yield from self.net.transfer(rec.dst, rec.src, 0,
+                                                   tag=rec.tag)
+                if not (ack.dropped or ack.corrupted):
+                    acked = True
+                    break
+            timer = engine.timeout(timeout)
+            yield timer
+            timeout = min(timeout * cfg.backoff_factor, cfg.backoff_cap)
+
+        if not acked:
+            self._fail_send(rec, TransportError(rec.src, rec.dst, rec.tag,
+                                                attempts))
+            return
+
+        cluster.ledgers[rec.src].charge("comm", engine.now - start)
+        rec.arrived = True
+        if rendezvous and not rec.sent_fut.done:
+            rec.sent_fut.set_result(None)
+        yield from self._finish_delivery(rec)
+
+    def _reliable_wire(self, rec: _SendRecord, sig_meta: Optional[int]) -> Generator:
+        """One wire attempt (possibly chunked); returns the merged
+        :class:`WireOutcome` -- any chunk lost/corrupted spoils the whole
+        message, exactly like a partial frame failing its CRC."""
+        cost = self.cost
+        merged = WireOutcome()
+        if rec.nbytes <= cost.pipeline_chunk or rec.is_obj:
+            out = yield from self.net.transfer(rec.src, rec.dst, rec.nbytes,
+                                               tag=rec.tag, sig=sig_meta)
+            merged.absorb(out)
+        else:
+            pos = 0
+            while pos < rec.nbytes:
+                chunk = min(cost.pipeline_chunk, rec.nbytes - pos)
+                out = yield from self.net.transfer(rec.src, rec.dst, chunk,
+                                                   tag=rec.tag, sig=sig_meta)
+                merged.absorb(out)
+                pos += chunk
+        return merged
+
+    def _reliable_await_match(self, rec: _SendRecord) -> Generator:
+        """Rendezvous wait with a liveness poll: instead of blocking
+        unconditionally on the match, re-check the peer every
+        ``MPIConfig.rendezvous_poll`` seconds so a hung or crashed
+        receiver turns into a bounded :class:`TransportError` /
+        :class:`RankFailedError` rather than a deadlock."""
+        cluster = self.cluster
+        cfg = self.config
+        engine = self.engine
+        polls = 0
+        while not rec.match_fut.done:
+            if rec.dst in cluster.failed_ranks:
+                exc = RankFailedError(rec.dst, "peer failed before matching")
+                self._fail_send(rec, exc)
+                raise exc
+            if rec.dst in cluster.hung_ranks:
+                polls += 1
+                if polls > cfg.max_retransmits:
+                    exc = TransportError(
+                        rec.src, rec.dst, rec.tag, polls,
+                        reason="peer unresponsive during rendezvous",
+                    )
+                    self._fail_send(rec, exc)
+                    raise exc
+            timer = engine.timeout(cfg.rendezvous_poll)
+            yield from _first_of(engine, rec.match_fut, timer)
+            timer.cancel()  # harmless if it already fired
+        # retrieve a poisoned match (e.g. the context was revoked while
+        # we waited); a clean match resumes with the receive record
+        yield rec.match_fut
+
+    def _fail_send(self, rec: _SendRecord, exc: BaseException) -> None:
+        """Terminal transport failure for ``rec``: notify the sender, the
+        matched receiver if any, and poison late-binding receives."""
+        rec.transport_exc = exc
+        if not rec.sent_fut.done:
+            rec.sent_fut.set_exception(exc)
+        rrec = rec.recv_rec
+        if rrec is not None and not rrec.future.done:
+            rrec.future.set_exception(exc)
 
     # -- collectives (implemented in repro.mpi.collectives) -------------------------
+    #
+    # Every collective dispatches through _fail_fast, which gives ALL
+    # registered algorithms uniform ULFM failure semantics without each
+    # implementation knowing about faults.
+
+    def _fail_fast(self, body: Generator) -> Generator:
+        """Run one collective with fail-fast failure semantics.
+
+        The first rank to observe a peer failure inside the collective
+        revokes the communicator context, which releases every other rank
+        blocked in the same collective (their pending operations complete
+        with :class:`CommRevokedError`).  The revocation cause is then
+        normalised, so *every* surviving rank of the communicator raises
+        the same exception -- a :class:`RankFailedError` naming the same
+        failed rank (or the same :class:`TransportError`) -- rather than
+        some ranks deadlocking or seeing a different error.  On the
+        fault-free path this adds no events and no yields.
+        """
+        try:
+            result = yield from body
+        except RankFailedError as exc:
+            self.revoke(exc)
+            raise RankFailedError(exc.rank, exc.reason) from None
+        except TransportError as exc:
+            self.revoke(exc)
+            raise
+        except CommRevokedError as exc:
+            cause = exc.cause
+            if isinstance(cause, RankFailedError):
+                raise RankFailedError(cause.rank, cause.reason) from None
+            if isinstance(cause, TransportError):
+                raise TransportError(cause.src, cause.dst, cause.tag,
+                                     cause.attempts, cause.reason) from None
+            raise
+        return result
 
     def barrier(self) -> Generator:
         from repro.mpi.collectives.basic import barrier
-        yield from barrier(self)
+        yield from self._fail_fast(barrier(self))
 
     def bcast(self, value: Any, root: int = 0) -> Generator:
         from repro.mpi.collectives.basic import bcast
-        result = yield from bcast(self, value, root)
+        result = yield from self._fail_fast(bcast(self, value, root))
         return result
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Generator:
         from repro.mpi.collectives.basic import allreduce
-        result = yield from allreduce(self, value, op)
+        result = yield from self._fail_fast(allreduce(self, value, op))
         return result
 
     def gather_obj(self, value: Any, root: int = 0) -> Generator:
         from repro.mpi.collectives.basic import gather_obj
-        result = yield from gather_obj(self, value, root)
+        result = yield from self._fail_fast(gather_obj(self, value, root))
         return result
 
     def allgatherv(
@@ -659,8 +1219,10 @@ class Comm:
         algorithm: Optional[str] = None,
     ) -> Generator:
         from repro.mpi.collectives.allgatherv import allgatherv
-        yield from allgatherv(self, sendbuffer, recvbuffer, counts, displs,
-                              datatype, algorithm=algorithm)
+        yield from self._fail_fast(
+            allgatherv(self, sendbuffer, recvbuffer, counts, displs,
+                       datatype, algorithm=algorithm)
+        )
 
     def alltoallw(
         self,
@@ -669,50 +1231,54 @@ class Comm:
         algorithm: Optional[str] = None,
     ) -> Generator:
         from repro.mpi.collectives.alltoallw import alltoallw
-        yield from alltoallw(self, sendspecs, recvspecs, algorithm=algorithm)
+        yield from self._fail_fast(
+            alltoallw(self, sendspecs, recvspecs, algorithm=algorithm)
+        )
 
     def reduce(self, sendbuf, recvbuf=None, op=None, root: int = 0) -> Generator:
         from repro.mpi.collectives.reduce import reduce as _reduce
-        result = yield from _reduce(
+        result = yield from self._fail_fast(_reduce(
             self, sendbuf, recvbuf, op if op is not None else np.add, root
-        )
+        ))
         return result
 
     def allreduce_array(self, sendbuf, recvbuf=None, op=None) -> Generator:
         from repro.mpi.collectives.reduce import allreduce_array
-        result = yield from allreduce_array(
+        result = yield from self._fail_fast(allreduce_array(
             self, sendbuf, recvbuf, op if op is not None else np.add
-        )
+        ))
         return result
 
     def scan(self, sendbuf, recvbuf=None, op=None) -> Generator:
         from repro.mpi.collectives.reduce import scan as _scan
-        result = yield from _scan(
+        result = yield from self._fail_fast(_scan(
             self, sendbuf, recvbuf, op if op is not None else np.add
-        )
+        ))
         return result
 
     def gatherv(self, sendbuf, recvbuf=None, counts=None, displs=None,
                 root: int = 0, datatype=None) -> Generator:
         from repro.mpi.collectives.gather import gatherv
-        result = yield from gatherv(
+        result = yield from self._fail_fast(gatherv(
             self, sendbuf, recvbuf, counts, displs, root, datatype
-        )
+        ))
         return result
 
     def scatterv(self, sendbuf=None, counts=None, displs=None, recvbuf=None,
                  root: int = 0, datatype=None) -> Generator:
         from repro.mpi.collectives.gather import scatterv
-        result = yield from scatterv(
+        result = yield from self._fail_fast(scatterv(
             self, sendbuf, counts, displs, recvbuf, root, datatype
-        )
+        ))
         return result
 
     def allgather(self, sendbuf, recvbuf, count=None, datatype=None) -> Generator:
         from repro.mpi.collectives.gather import allgather
-        yield from allgather(self, sendbuf, recvbuf, count, datatype)
+        yield from self._fail_fast(allgather(self, sendbuf, recvbuf, count, datatype))
 
     def alltoall(self, sendbuf, recvbuf, count: int, datatype=None) -> Generator:
         from repro.mpi.collectives.gather import alltoall
-        result = yield from alltoall(self, sendbuf, recvbuf, count, datatype)
+        result = yield from self._fail_fast(
+            alltoall(self, sendbuf, recvbuf, count, datatype)
+        )
         return result

@@ -56,6 +56,38 @@ class MPIConfig:
     #: path to a tuning-table JSON for the ``autotuned`` policy
     tuning_table: Optional[str] = None
 
+    # -- fault tolerance (repro.faults / docs/FAULTS.md) -------------------
+    #
+    # All default to OFF: with the defaults below, every code path in the
+    # transport is bit-for-bit and schedule-identical to the pre-fault
+    # stack (the reliability machinery is a separate delivery routine).
+
+    #: go-back-N-style reliable delivery: sequence numbers + CRC32 over the
+    #: packed payload, receiver-side dedupe, per-message acks, and sender
+    #: retransmit on timeout.  Required for FaultPlans that drop, corrupt
+    #: or duplicate messages.
+    reliable_transport: bool = False
+
+    #: initial sender retransmit timeout (simulated seconds); doubles
+    #: (times :attr:`backoff_factor`) per failed attempt up to
+    #: :attr:`backoff_cap`
+    retransmit_timeout: float = 2e-4
+
+    #: retransmit attempts per message before the transport surfaces a
+    #: :class:`repro.mpi.errors.TransportError`
+    max_retransmits: int = 8
+
+    #: multiplier applied to the retransmit timeout after each failure
+    backoff_factor: float = 2.0
+
+    #: upper bound on the (exponentially growing) retransmit timeout
+    backoff_cap: float = 5e-3
+
+    #: polling interval for the rendezvous hang detector: a rendezvous
+    #: sender re-checks its peer's liveness this often while waiting for
+    #: the matching receive (only with :attr:`reliable_transport`)
+    rendezvous_poll: float = 1e-3
+
     @classmethod
     def baseline(cls) -> "MPIConfig":
         """Stock MVAPICH2-0.9.5 / MPICH2 behaviour (the paper's baseline).

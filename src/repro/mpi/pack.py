@@ -22,7 +22,9 @@ from typing import Generator, Optional
 import numpy as np
 
 from repro.datatypes.typemap import Datatype
-from repro.mpi.comm import Comm, MPIError, as_typed
+from repro.mpi.comm import Comm, MPIError, as_typed, payload_crc
+
+__all__ = ["pack_size", "mpi_pack", "mpi_unpack", "payload_crc"]
 
 
 def pack_size(count: int, datatype: Datatype) -> int:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import warnings
 from typing import Any, Generator
 
+from repro.mpi.errors import FaultToleranceError
 from repro.simtime.engine import SimFuture
 
 
@@ -82,6 +83,12 @@ class Request:
     def __del__(self):  # pragma: no cover - exercised via gc in tests
         try:
             if self.kind in ("send", "recv") and not self._waited:
+                # a request abandoned because its collective aborted on a
+                # peer failure/revocation is not a programming error
+                fut = self._future
+                if (fut.done and fut._exception is not None
+                        and isinstance(fut._exception, FaultToleranceError)):
+                    return
                 warnings.warn(
                     f"Request ({self.kind}) garbage-collected without "
                     "wait()/test(); nonblocking operations must be completed",

@@ -25,6 +25,7 @@ from repro.petsc.scatter import VecScatter
 from repro.petsc.dmda import DMDA
 from repro.petsc.mat import Laplacian, Operator
 from repro.petsc.aij import AIJMat
+from repro.petsc.checkpoint import SolverCheckpoint
 from repro.petsc.ksp import BiCGStab, CG, GMRES, Chebyshev, Richardson, SolveResult
 from repro.petsc.pc import BlockJacobiPC, JacobiPC
 from repro.petsc.mg import MGSolver
@@ -52,6 +53,7 @@ __all__ = [
     "Richardson",
     "SNESResult",
     "SolveResult",
+    "SolverCheckpoint",
     "StrideIS",
     "Vec",
     "VecScatter",

@@ -11,7 +11,7 @@ it does in real PETSc runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator, List, Optional
+from typing import Any, Callable, Generator, List, Optional
 
 import numpy as np
 
@@ -59,12 +59,18 @@ def CG(
     atol: float = 0.0,
     maxits: int = 1000,
     pc: Optional[Preconditioner] = None,
+    checkpoint: Optional[Any] = None,
 ) -> Generator:
     """Preconditioned conjugate gradients; solution accumulates into ``x``.
 
     Returns a :class:`SolveResult`.  The preconditioner must be symmetric
     positive definite (a multigrid V-cycle with symmetric smoothing
     qualifies).
+
+    ``checkpoint`` (a :class:`repro.petsc.checkpoint.SolverCheckpoint`)
+    periodically replicates the iterate so a rank failure mid-solve can be
+    recovered by shrinking the communicator and restarting warm from the
+    last checkpoint; see :mod:`repro.petsc.checkpoint`.
     """
     if maxits < 0 or rtol < 0 or atol < 0:
         raise PETScError("negative tolerance or iteration limit")
@@ -109,6 +115,8 @@ def CG(
             norms.append(rnorm)
             if rnorm <= target:
                 return SolveResult(True, it, norms)
+            if checkpoint is not None:
+                yield from checkpoint.maybe_save(x, it)
             if pc is None:
                 z.copy_from(r)
             else:

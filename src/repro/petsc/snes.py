@@ -17,7 +17,7 @@ top of KSP; this module completes that stack.  ``NewtonKrylov`` solves
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator, List
+from typing import Any, Callable, Generator, List, Optional
 
 
 from repro.petsc.ksp import GMRES, _profiler_of
@@ -76,12 +76,18 @@ def NewtonKrylov(
     linear_rtol: float = 1e-4,
     linear_maxits: int = 200,
     max_backtracks: int = 8,
+    checkpoint: Optional[Any] = None,
 ) -> Generator:
     """Solve ``F(x) = 0``; the solution accumulates into ``x``.
 
     Returns a :class:`SNESResult`.  Each Newton step solves
     ``J(x) dx = -F(x)`` with matrix-free GMRES, then backtracks along
     ``x + lam dx`` until ``||F|| `` decreases.
+
+    ``checkpoint`` (a :class:`repro.petsc.checkpoint.SolverCheckpoint`)
+    replicates the Newton iterate every ``checkpoint.every`` outer
+    iterations so a rank failure can be recovered by shrink + warm
+    restart (see :mod:`repro.petsc.checkpoint`).
     """
     if maxits < 0:
         raise PETScError("negative iteration limit")
@@ -135,4 +141,6 @@ def NewtonKrylov(
             norms.append(fnorm)
             if fnorm <= target:
                 return SNESResult(True, it, norms, linear_total)
+            if checkpoint is not None:
+                yield from checkpoint.maybe_save(x, it)
     return SNESResult(False, maxits, norms, linear_total)

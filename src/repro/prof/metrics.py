@@ -67,6 +67,11 @@ CATALOGUE: Dict[str, Tuple[str, str]] = {
     # engine
     "repro_engine_events": ("gauge", "Discrete events fired by the simulation engine"),
     "repro_engine_processes": ("gauge", "Processes spawned on the simulation engine"),
+    # fault injection / reliable transport (repro.faults, mpi.comm)
+    "repro_faults_injected_total": ("counter", "Faults fired by the injector (label: kind)"),
+    "repro_retransmits_total": ("counter", "Reliable-transport retransmission attempts"),
+    "repro_checksum_failures_total": ("counter", "Payloads rejected by the receiver-side CRC check"),
+    "repro_rank_failures_total": ("counter", "Ranks declared failed (crashes and detected hangs)"),
 }
 
 #: default histogram buckets: log-spaced, covers ns stalls to whole seconds

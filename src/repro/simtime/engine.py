@@ -33,7 +33,17 @@ class SimulationError(RuntimeError):
 
 class SimulationDeadlock(SimulationError):
     """Raised by :meth:`Engine.run` when live processes remain but no event
-    can ever fire again (e.g. a receive whose matching send never happens)."""
+    can ever fire again (e.g. a receive whose matching send never happens).
+
+    The message names every still-alive process and what it is blocked on;
+    :attr:`blocked` carries the same data as ``(process_name, waiting_on)``
+    pairs so harnesses (e.g. ``repro.faults.chaos``) can assert on it.
+    """
+
+    def __init__(self, message: str, blocked: Optional[list] = None):
+        super().__init__(message)
+        #: ``[(process_name, description_of_wait_target), ...]``
+        self.blocked: list = blocked or []
 
 
 class Delay:
@@ -61,7 +71,8 @@ class SimFuture:
     on the same future; all are resumed (in wait order) when it resolves.
     """
 
-    __slots__ = ("engine", "_value", "_exception", "_done", "_callbacks", "name")
+    __slots__ = ("engine", "_value", "_exception", "_done", "_callbacks",
+                 "name", "_cancelled")
 
     def __init__(self, engine: "Engine", name: str = ""):
         self.engine = engine
@@ -70,10 +81,31 @@ class SimFuture:
         self._done = False
         self._callbacks: list[Callable[["SimFuture"], None]] = []
         self.name = name
+        self._cancelled = False
 
     @property
     def done(self) -> bool:
         return self._done
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` resolved this future before its event."""
+        return self._cancelled
+
+    def cancel(self) -> bool:
+        """Resolve the future *now* with ``None`` and mark it cancelled.
+
+        Used to abandon races (e.g. a retransmit timer whose ack arrived
+        first).  Safe against the original event firing later: timers
+        created by :meth:`Engine.timeout` guard their heap entry with a
+        ``done`` check, so nothing resolves twice.  Returns False if the
+        future had already resolved.
+        """
+        if self._done:
+            return False
+        self._cancelled = True
+        self.set_result(None)
+        return True
 
     @property
     def value(self) -> Any:
@@ -116,7 +148,8 @@ class SimProcess:
     return value is available as :attr:`result` once :attr:`done`.
     """
 
-    __slots__ = ("engine", "gen", "name", "done", "result", "_exception", "_waiters")
+    __slots__ = ("engine", "gen", "name", "done", "result", "_exception",
+                 "_waiters", "_blocked_on")
 
     def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
         self.engine = engine
@@ -126,6 +159,9 @@ class SimProcess:
         self.result: Any = None
         self._exception: Optional[BaseException] = None
         self._waiters: list[Callable[["SimProcess"], None]] = []
+        #: what the process is currently suspended on (SimFuture, SimProcess
+        #: or None for a Delay); read by the deadlock diagnostics
+        self._blocked_on: Any = None
 
     @property
     def exception(self) -> Optional[BaseException]:
@@ -161,11 +197,19 @@ class Engine:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
-        self._live_processes = 0
+        self._live: dict[SimProcess, None] = {}  # insertion-ordered set
         self._trace: Optional[Callable[[float, str], None]] = None
         #: instrumentation counters (read by repro.prof; cheap to maintain)
         self.events_fired = 0
         self.processes_spawned = 0
+
+    @property
+    def _live_processes(self) -> int:
+        return len(self._live)
+
+    def live_processes(self) -> list[SimProcess]:
+        """Processes spawned but not yet finished (spawn order)."""
+        return list(self._live)
 
     # -- scheduling primitives ------------------------------------------
 
@@ -180,9 +224,20 @@ class Engine:
         return SimFuture(self, name)
 
     def timeout(self, delay: float) -> SimFuture:
-        """A future that resolves after ``delay`` sim-seconds."""
+        """A future that resolves after ``delay`` sim-seconds.
+
+        The future may be resolved earlier by the caller (``set_result`` /
+        ``cancel``) without harm: the scheduled heap entry checks ``done``
+        before firing, so a timer abandoned by a race (ack-before-timeout)
+        never resolves twice.
+        """
         fut = self.future(f"timeout({delay})")
-        self.schedule(delay, fut.set_result)
+
+        def fire() -> None:
+            if not fut.done:
+                fut.set_result(None)
+
+        self.schedule(delay, fire)
         return fut
 
     # -- processes -------------------------------------------------------
@@ -192,25 +247,52 @@ class Engine:
         if not hasattr(gen, "send"):
             raise TypeError(f"spawn() needs a generator, got {type(gen).__name__}")
         proc = SimProcess(self, gen, name or getattr(gen, "__name__", "proc"))
-        self._live_processes += 1
+        self._live[proc] = None
         self.processes_spawned += 1
         self.schedule(0.0, lambda: self._step(proc, _SEND, None))
         return proc
 
+    def kill(self, proc: SimProcess, exc: Optional[BaseException] = None) -> bool:
+        """Terminate ``proc`` immediately (simulated rank crash).
+
+        Closes the underlying generator (``finally`` blocks run, releasing
+        any held resources such as ports) and finishes the process with
+        ``exc`` as its exception (or a plain ``None`` result when no
+        exception is given).  Joiners are woken; a stale resume callback
+        from whatever the process was blocked on becomes a no-op.  Returns
+        False if the process had already finished.
+        """
+        if proc.done:
+            return False
+        try:
+            proc.gen.close()
+        except Exception:  # noqa: BLE001 - a dying rank must not kill the sim
+            pass
+        self._live.pop(proc, None)
+        proc._blocked_on = None
+        proc._finish(None, exc)
+        return True
+
     def _step(self, proc: SimProcess, mode: int, payload: Any) -> None:
+        if proc.done:
+            return  # killed while a resume callback was in flight
+        proc._blocked_on = None
         try:
             if mode == _SEND:
                 cmd = proc.gen.send(payload)
             else:
                 cmd = proc.gen.throw(payload)
         except StopIteration as stop:
-            self._live_processes -= 1
+            self._live.pop(proc, None)
             proc._finish(stop.value, None)
             return
         except BaseException as exc:  # noqa: BLE001 - propagated to joiners
-            self._live_processes -= 1
+            self._live.pop(proc, None)
+            had_waiters = bool(proc._waiters)
             proc._finish(None, exc)
-            if not proc._waiters:
+            if not had_waiters:
+                # nobody joined this process: abort the simulation loudly
+                # rather than swallowing the error
                 raise
             return
         self._dispatch(proc, cmd)
@@ -223,12 +305,14 @@ class Engine:
         if isinstance(cmd, Delay):
             self.schedule(cmd.duration, lambda: self._step(proc, _SEND, None))
         elif isinstance(cmd, SimFuture):
+            proc._blocked_on = cmd
             cmd.add_done_callback(
                 lambda fut: self.schedule(
                     0.0, lambda: self._resume_from_future(proc, fut)
                 )
             )
         elif isinstance(cmd, SimProcess):
+            proc._blocked_on = cmd
             cmd.add_done_callback(
                 lambda p: self.schedule(
                     0.0, lambda: self._resume_from_process(proc, p)
@@ -271,10 +355,18 @@ class Engine:
             self.now = t
             self.events_fired += 1
             fn()
-        if self._live_processes > 0:
+        if self._live:
+            blocked = [(p.name, _describe_wait(p._blocked_on))
+                       for p in self._live]
+            shown = blocked[:_DEADLOCK_DETAIL_LIMIT]
+            details = "; ".join(f"{name!r} waiting on {what}"
+                                for name, what in shown)
+            if len(blocked) > len(shown):
+                details += f"; ... and {len(blocked) - len(shown)} more"
             raise SimulationDeadlock(
-                f"{self._live_processes} process(es) blocked forever at "
-                f"t={self.now}"
+                f"{len(blocked)} process(es) blocked forever at "
+                f"t={self.now}: {details}",
+                blocked=blocked,
             )
         return self.now
 
@@ -294,3 +386,15 @@ class Engine:
 
 _SEND = 0
 _THROW = 1
+
+#: cap on per-process detail in a SimulationDeadlock message
+_DEADLOCK_DETAIL_LIMIT = 16
+
+
+def _describe_wait(target: Any) -> str:
+    """Human-readable description of what a process is suspended on."""
+    if isinstance(target, SimFuture):
+        return f"future {target.name!r}" if target.name else "an unnamed future"
+    if isinstance(target, SimProcess):
+        return f"process {target.name!r}"
+    return "a pending event"

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Generator, List, Optional
+from typing import Any, Callable, Generator, List, Optional
 
 from repro.simtime.engine import Delay, Engine
 from repro.simtime.resources import Port
@@ -29,6 +29,54 @@ from repro.util.costmodel import CostModel
 
 #: number of nodes per physical cluster in the paper's testbed
 CLUSTER_NODES = 32
+
+
+@dataclass(frozen=True)
+class WireFault:
+    """Verdict of a fault injector for ONE wire transfer attempt.
+
+    Produced by :meth:`repro.faults.injector.FaultInjector.on_wire`;
+    consumed by :meth:`NetworkModel.transfer` (timing effects: ``delay``
+    spike, ``scale`` NIC degradation) and by the reliable transport in
+    :mod:`repro.mpi.comm` (payload effects: ``drop``, ``corrupt``,
+    ``duplicate``).
+    """
+
+    drop: bool = False
+    corrupt: bool = False
+    duplicate: bool = False
+    delay: float = 0.0
+    scale: float = 1.0
+
+
+#: shared "nothing happened" verdict (avoids per-transfer allocation)
+NO_FAULT = WireFault()
+
+
+@dataclass
+class WireOutcome:
+    """What happened to one logical transfer (possibly several chunks).
+
+    Returned by :meth:`NetworkModel.transfer`.  Callers that ignore the
+    return value (every pre-fault call site) are unaffected; the reliable
+    transport inspects it to decide whether the payload actually arrived
+    intact.
+    """
+
+    dropped: bool = False
+    corrupted: bool = False
+    duplicate: bool = False
+
+    def merge(self, fault: "WireFault") -> None:
+        self.dropped = self.dropped or fault.drop
+        self.corrupted = self.corrupted or fault.corrupt
+        self.duplicate = self.duplicate or fault.duplicate
+
+    def absorb(self, other: "WireOutcome") -> None:
+        """Fold another chunk's outcome into this whole-message outcome."""
+        self.dropped = self.dropped or other.dropped
+        self.corrupted = self.corrupted or other.corrupted
+        self.duplicate = self.duplicate or other.duplicate
 
 
 @dataclass(frozen=True)
@@ -82,6 +130,10 @@ class NetworkModel:
         self.messages_on_wire = 0
         #: called with a :class:`TransferEvent` after each completed transfer
         self._transfer_listeners: List[Callable[[TransferEvent], None]] = []
+        #: optional fault injector (:class:`repro.faults.injector.FaultInjector`);
+        #: consulted once per wire transfer when set.  None (the default)
+        #: keeps the fault-free path byte- and schedule-identical.
+        self.fault_injector: Optional[Any] = None
 
     def add_transfer_listener(self, fn: Callable[[TransferEvent], None]) -> None:
         """Register ``fn(event)`` to run after every completed transfer.
@@ -140,23 +192,43 @@ class NetworkModel:
         signature hash) are pure metadata: the wire ignores them, but
         transfer listeners such as :class:`repro.mpi.trace.MessageTrace`
         (subscribed through the cluster observer API) record them.
+
+        Returns a :class:`WireOutcome`.  When a fault injector is attached
+        (:mod:`repro.faults`) the outcome may be marked dropped / corrupted
+        / duplicated and the transfer may suffer a delay spike or NIC
+        degradation; with no injector the outcome is always clean and the
+        code path is identical to the fault-free build.
         """
         t_start = self.engine.now
-        yield from self._transfer(src, dst, nbytes, latency)
+        outcome = WireOutcome()
+        fault = NO_FAULT
+        if self.fault_injector is not None:
+            fault = self.fault_injector.on_wire(src, dst, nbytes, tag,
+                                                self.engine.now)
+            outcome.merge(fault)
+            if fault.delay > 0.0:
+                # delay spike: the packet sits in the NIC before the wire
+                yield Delay(fault.delay)
+        yield from self._transfer(src, dst, nbytes, latency,
+                                  scale=fault.scale)
         if self._transfer_listeners:
             event = TransferEvent(src, dst, nbytes, tag, sig,
                                   t_start, self.engine.now)
             for fn in self._transfer_listeners:
                 fn(event)
+        return outcome
 
     def _transfer(self, src: int, dst: int, nbytes: int,
-                  latency: Optional[float] = None) -> Generator:
+                  latency: Optional[float] = None,
+                  scale: float = 1.0) -> Generator:
         if not (0 <= src < self.nranks and 0 <= dst < self.nranks):
             raise ValueError(f"rank out of range: {src}->{dst}")
         if latency is None:
             duration = self.transfer_time(nbytes)
         else:
             duration = latency + self.cost.beta * max(0, nbytes)
+        if scale != 1.0:
+            duration *= scale
         self.bytes_on_wire += nbytes
         self.messages_on_wire += 1
         if src == dst:

@@ -1,0 +1,110 @@
+"""SolverCheckpoint: periodic replication, restore, crash-restart solve."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan
+from repro.mpi import Cluster, MPIConfig
+from repro.petsc import CG, DMDA, Laplacian, Layout, SolverCheckpoint, Vec
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        SolverCheckpoint(0)
+
+
+def test_save_replicates_and_restore_round_trips():
+    cluster = Cluster(3, config=MPIConfig.optimized(), cost=QUIET)
+
+    def main(comm):
+        lay = Layout(comm.size, 10)
+        x = Vec(comm, lay)
+        start, end = x.owned_range
+        x.local[:] = np.arange(start, end, dtype=float)
+        ckpt = SolverCheckpoint(every=2)
+        assert ckpt.restore(x) is False  # nothing saved yet
+        yield from ckpt.save(x, iteration=4)
+        assert ckpt.saves == 1 and ckpt.iteration == 4
+        assert np.array_equal(ckpt.data, np.arange(10, dtype=float))
+        # clobber, then restore
+        x.local[:] = -1.0
+        assert ckpt.restore(x) is True
+        assert np.array_equal(x.local, np.arange(start, end, dtype=float))
+        return True
+
+    assert cluster.run(main) == [True, True, True]
+
+
+def test_restore_rejects_wrong_global_size():
+    cluster = Cluster(2, config=MPIConfig.optimized(), cost=QUIET)
+
+    def main(comm):
+        ckpt = SolverCheckpoint(every=1)
+        x = Vec(comm, Layout(comm.size, 8))
+        yield from ckpt.save(x, iteration=1)
+        y = Vec(comm, Layout(comm.size, 9))
+        try:
+            ckpt.restore(y)
+        except ValueError:
+            return "rejected"
+        return "accepted"
+
+    assert cluster.run(main) == ["rejected", "rejected"]
+
+
+def test_maybe_save_respects_interval():
+    cluster = Cluster(2, config=MPIConfig.optimized(), cost=QUIET)
+
+    def main(comm):
+        ckpt = SolverCheckpoint(every=3)
+        x = Vec(comm, Layout(comm.size, 6))
+        for it in range(1, 10):
+            yield from ckpt.maybe_save(x, it)
+        return ckpt.saves, ckpt.iteration
+
+    results = cluster.run(main)
+    assert results == [(3, 9), (3, 9)]  # saved at 3, 6, 9
+
+
+def test_cg_with_checkpoint_matches_plain_cg():
+    """Checkpointing must not perturb the iteration sequence."""
+    n = 8
+
+    def solve(with_ckpt):
+        cluster = Cluster(4, config=MPIConfig.optimized(), cost=QUIET)
+
+        def main(comm):
+            da = DMDA(comm, (n, n))
+            A = Laplacian(da)
+            b = da.create_global_vec()
+            b.local[:] = 1.0
+            x = da.create_global_vec()
+            ckpt = SolverCheckpoint(every=4) if with_ckpt else None
+            res = yield from CG(A, b, x, rtol=1e-10, checkpoint=ckpt)
+            return res.iterations, x.local.copy(), \
+                (ckpt.saves if ckpt else 0)
+
+        return cluster.run(main)
+
+    plain = solve(False)
+    ckptd = solve(True)
+    for (it_p, x_p, _), (it_c, x_c, saves) in zip(plain, ckptd):
+        assert it_p == it_c
+        assert np.array_equal(x_p, x_c)
+        assert saves >= 1
+
+
+def test_fem_crash_restart_converges_to_same_answer():
+    """Acceptance: a crash mid-solve + checkpointing converges like the
+    fault-free run (the paper-level invariant for graceful degradation)."""
+    from repro.apps.fem_poisson import solve_poisson_fem
+
+    clean = solve_poisson_fem(5, n=10, rtol=1e-10)
+    plan = FaultPlan(seed=2).crash(2, at_time=clean.simulated_time * 0.6)
+    recovered = solve_poisson_fem(5, n=10, rtol=1e-10, fault_plan=plan,
+                                  checkpoint_every=5)
+    assert recovered.converged
+    assert abs(recovered.error_max - clean.error_max) < 1e-8
