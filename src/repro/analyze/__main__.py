@@ -28,6 +28,18 @@ extracted communication plans; SARIF 2.1.0 feeds CI annotations);
 ``--output FILE`` writes the machine-readable document to a file while
 keeping the human-readable summary on stdout.  Inline
 ``# analyze: ignore[CODE]`` comments suppress findings per line.
+
+Rewriting and the static->runtime loop:
+
+``--fix`` applies the conservative auto-rewrites of
+:mod:`repro.analyze.fix` (insert missing ``yield from``, wait on every
+path, hoist loop-invariant flatten/pack, drop stale suppressions) and
+writes the changed files back; ``--fix --check`` prints the unified
+diffs *without writing* and exits 1 when any rewrite would apply -- the
+CI fix-clean gate.  ``--plans-out FILE`` (with ``--dataflow``) writes
+the extracted PLAN10x communication plans as a ``repro-plans/1``
+document that ``python -m repro.bench --autotune --plans FILE`` uses to
+pre-seed the tuning table (see ``docs/ANALYZE.md``).
 """
 
 from __future__ import annotations
@@ -107,19 +119,64 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--show-plans", action="store_true",
                         help="print the extracted communication plans "
                              "(text format; json always carries them)")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply the conservative auto-rewrites and "
+                             "write the files back")
+    parser.add_argument("--check", action="store_true",
+                        help="with --fix: print the diffs without "
+                             "writing; exit 1 if any rewrite would apply")
+    parser.add_argument("--plans-out", metavar="FILE",
+                        help="with --dataflow: write the extracted "
+                             "communication plans as a repro-plans/1 "
+                             "JSON document (autotuner pre-seed input)")
     args = parser.parse_args(argv)
+
+    if args.check and not args.fix:
+        parser.error("--check requires --fix")
+
+    if args.fix:
+        from repro.analyze.fix import fix_paths
+
+        try:
+            result = fix_paths(args.paths, write=not args.check)
+        except (FileNotFoundError, SyntaxError) as exc:
+            print(f"analyze: {exc}", file=sys.stderr)
+            return 2
+        if result:
+            if args.check:
+                sys.stdout.write(result.diff())
+                print(f"analyze --fix --check: {len(result.changed)} "
+                      "file(s) would be rewritten")
+                return 1
+            for action in result.actions:
+                print(action)
+            print(f"analyze --fix: rewrote {len(result.changed)} file(s)")
+        else:
+            print("analyze --fix: nothing to rewrite")
+        if args.check:
+            return 0
+        # fall through: report what remains after the rewrites
 
     report = Report()
     plans: list = []
     try:
-        lint_paths(args.paths, report)
         if args.dataflow:
-            from repro.analyze.dataflow import analyze_paths
+            from repro.analyze.dataflow import analyze_tree
 
-            analyze_paths(args.paths, report, plans)
+            analyze_tree(args.paths, report, plans, dataflow=True)
+        else:
+            lint_paths(args.paths, report)
     except (FileNotFoundError, SyntaxError) as exc:
         print(f"analyze: {exc}", file=sys.stderr)
         return 2
+
+    if args.plans_out:
+        from repro.analyze.emit import to_plans
+
+        with open(args.plans_out, "w", encoding="utf-8") as fh:
+            fh.write(to_plans(plans) + "\n")
+        print(f"{len(plans)} communication plan(s) written to "
+              f"{args.plans_out}")
 
     if args.run:
         for path in args.paths:

@@ -32,10 +32,12 @@ mechanism (``# analyze: ignore[CODE]``).
 """
 
 from repro.analyze.dataflow.cfg import CFG, CFGNode, build_cfg, function_cfgs
+from repro.analyze.dataflow.callgraph import Project, strongly_connected
 from repro.analyze.dataflow.driver import (
     analyze_file,
     analyze_paths,
     analyze_source,
+    analyze_tree,
 )
 from repro.analyze.dataflow.engine import (
     DataflowSolution,
@@ -43,18 +45,24 @@ from repro.analyze.dataflow.engine import (
     reaching_definitions,
 )
 from repro.analyze.dataflow.plans import CommunicationPlan, extract_plans
+from repro.analyze.dataflow.summaries import compute_summaries, module_envs
 
 __all__ = [
     "CFG",
     "CFGNode",
     "CommunicationPlan",
     "DataflowSolution",
+    "Project",
     "analyze_file",
     "analyze_paths",
     "analyze_source",
+    "analyze_tree",
     "build_cfg",
+    "compute_summaries",
     "extract_plans",
     "function_cfgs",
     "liveness",
+    "module_envs",
     "reaching_definitions",
+    "strongly_connected",
 ]

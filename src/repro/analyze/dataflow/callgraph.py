@@ -1,0 +1,216 @@
+"""Project-wide call graph over the analyzed modules.
+
+The interprocedural layer of the dataflow analyzer needs to know, for
+every module-level function, *which other analyzed functions it may
+call* -- including across modules via ``from pkg.mod import helper``
+imports.  This module builds that graph:
+
+1. :class:`Project` parses every analyzed source file once and indexes
+   its top-level functions and its ``from ... import name`` bindings
+   (absolute imports resolve by dotted-suffix match against the analyzed
+   file set, relative imports resolve against the importing module's
+   package path);
+2. :meth:`Project.call_edges` extracts the call graph: one edge per
+   plain-``Name`` call (``helper(...)`` / ``yield from helper(...)``)
+   that resolves to an analyzed function.  Attribute calls
+   (``obj.method(...)``) are method dispatch and stay out of the graph
+   -- they are handled by the method-name heuristics of the rule passes;
+3. :func:`strongly_connected` (Tarjan) condenses recursion cycles so
+   :mod:`repro.analyze.dataflow.summaries` can compute per-function
+   summaries bottom-up: callees first, each recursive component iterated
+   to its own local fixpoint (with widening, see there).
+
+The graph is deliberately name-based and best-effort: an unresolvable
+call simply has no edge, which the summary layer treats conservatively
+(the callee is unknown, arguments escape).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["FunctionRef", "ModuleInfo", "Project", "strongly_connected"]
+
+#: a function is identified by (module path, function name)
+FunctionRef = Tuple[str, str]
+
+
+class ModuleInfo:
+    """One parsed module: its AST, top-level functions and imports."""
+
+    __slots__ = ("path", "tree", "dotted", "functions", "imports")
+
+    def __init__(self, path: str, tree: ast.Module, dotted: Tuple[str, ...]):
+        self.path = path
+        self.tree = tree
+        #: dotted-name components inferred from the file path
+        self.dotted = dotted
+        #: top-level function definitions by name
+        self.functions: Dict[str, ast.AST] = {
+            node.name: node for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        #: local name -> (absolute dotted module components, remote name)
+        self.imports: Dict[str, Tuple[Tuple[str, ...], str]] = {}
+        self._collect_imports()
+
+    def _collect_imports(self) -> None:
+        for node in self.tree.body:
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if node.level:
+                # relative import: resolve against this module's package
+                base = self.dotted[:-1]
+                if node.level > 1:
+                    base = base[: len(base) - (node.level - 1)]
+                target = base + tuple(
+                    node.module.split(".") if node.module else ())
+            elif node.module:
+                target = tuple(node.module.split("."))
+            else:  # pragma: no cover - `from import` without module
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                self.imports[alias.asname or alias.name] = (target, alias.name)
+
+
+def _module_dotted(path: str) -> Tuple[str, ...]:
+    """Dotted components of a file path (``src/repro/x/y.py`` ->
+    ``("src", "repro", "x", "y")``; ``__init__.py`` names its package)."""
+    parts = path.replace("\\", "/").rstrip("/").split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return tuple(p for p in parts if p not in ("", "."))
+
+
+class Project:
+    """The full set of modules one analysis run looks at."""
+
+    def __init__(self, sources: Iterable[Tuple[str, str]]):
+        """``sources`` is an iterable of ``(path, source_text)`` pairs;
+        unparseable files raise :class:`SyntaxError` to the caller (the
+        driver surfaces them as analysis errors)."""
+        self.modules: Dict[str, ModuleInfo] = {}
+        for path, text in sources:
+            tree = ast.parse(text, filename=path)
+            self.modules[path] = ModuleInfo(path, tree, _module_dotted(path))
+        #: dotted suffix -> candidate module paths (for absolute imports)
+        self._by_suffix: Dict[Tuple[str, ...], List[str]] = {}
+        for path, info in self.modules.items():
+            dotted = info.dotted
+            for k in range(1, len(dotted) + 1):
+                self._by_suffix.setdefault(dotted[-k:], []).append(path)
+
+    # -- resolution ----------------------------------------------------------
+
+    def _resolve_module(self, target: Tuple[str, ...]) -> Optional[ModuleInfo]:
+        """The analyzed module an absolute/relative import target names,
+        or None when it is ambiguous or external."""
+        if not target:
+            return None
+        candidates = self._by_suffix.get(target, [])
+        if len(candidates) == 1:
+            return self.modules[candidates[0]]
+        return None
+
+    def resolve(self, module: ModuleInfo, name: str) -> Optional[FunctionRef]:
+        """What analyzed function does ``name`` denote inside ``module``?
+
+        Local top-level definitions shadow imports (matching Python's
+        runtime semantics for the usual def-after-import layout)."""
+        if name in module.functions:
+            return (module.path, name)
+        imported = module.imports.get(name)
+        if imported is not None:
+            target_mod, remote = imported
+            target = self._resolve_module(target_mod)
+            if target is not None and remote in target.functions:
+                return (target.path, remote)
+        return None
+
+    # -- the graph -----------------------------------------------------------
+
+    def function_refs(self) -> List[FunctionRef]:
+        out: List[FunctionRef] = []
+        for path in sorted(self.modules):
+            out.extend((path, name)
+                       for name in sorted(self.modules[path].functions))
+        return out
+
+    def function(self, ref: FunctionRef) -> ast.AST:
+        return self.modules[ref[0]].functions[ref[1]]
+
+    def call_edges(self) -> Dict[FunctionRef, List[FunctionRef]]:
+        """caller -> resolved callees (plain-Name call sites only)."""
+        edges: Dict[FunctionRef, List[FunctionRef]] = {}
+        for ref in self.function_refs():
+            module = self.modules[ref[0]]
+            seen: List[FunctionRef] = []
+            for node in ast.walk(self.function(ref)):
+                if isinstance(node, ast.Call) and isinstance(
+                        node.func, ast.Name):
+                    callee = self.resolve(module, node.func.id)
+                    if callee is not None and callee not in seen:
+                        seen.append(callee)
+            edges[ref] = seen
+        return edges
+
+
+def strongly_connected(
+    nodes: Sequence[FunctionRef],
+    edges: Dict[FunctionRef, List[FunctionRef]],
+) -> List[List[FunctionRef]]:
+    """Tarjan's algorithm, iterative.  Returns the SCCs in *reverse
+    topological order of the condensation* -- callees before callers --
+    which is exactly the bottom-up order the summary computation wants.
+    """
+    index: Dict[FunctionRef, int] = {}
+    low: Dict[FunctionRef, int] = {}
+    on_stack: Dict[FunctionRef, bool] = {}
+    stack: List[FunctionRef] = []
+    sccs: List[List[FunctionRef]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: List[Tuple[FunctionRef, int]] = [(root, 0)]
+        while work:
+            node, ei = work[-1]
+            if ei == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            succ = edges.get(node, [])
+            while ei < len(succ):
+                nxt = succ[ei]
+                ei += 1
+                if nxt not in index:
+                    work[-1] = (node, ei)
+                    work.append((nxt, 0))
+                    advanced = True
+                    break
+                if on_stack.get(nxt):
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                scc: List[FunctionRef] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs

@@ -1,21 +1,85 @@
-"""File-level driver for the dataflow passes: parse once, run REQ/BUF,
-SPMD and PLAN over every function, honour suppressions."""
+"""File-level driver for the dataflow passes.
+
+Two-phase project analysis:
+
+1. **Summary phase**: every analyzed file is parsed into one
+   :class:`~repro.analyze.dataflow.callgraph.Project`; transitive
+   per-function summaries are computed bottom-up over the call-graph
+   condensation (:mod:`repro.analyze.dataflow.summaries`).
+2. **Rule phase**: REQ/BUF, SPMD and PLAN run per function with the
+   module's summary environment prefilled, so cross-function request
+   hand-off and rank taint resolve -- including across files, for
+   imports that resolve inside the analyzed set.
+
+:func:`analyze_source` / :func:`analyze_file` analyze one module (the
+project is just that module -- interprocedural within the file);
+:func:`analyze_paths` analyzes a file set as one project.
+:func:`analyze_tree` additionally runs the lint pass sharing one
+suppression index per file, which is what makes the LNT007
+unused-suppression lint sound: a comment is "unused" only when *no*
+pass that ran could have matched it.
+"""
 
 from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analyze.dataflow import plans as _plans
 from repro.analyze.dataflow import requests as _requests
 from repro.analyze.dataflow import spmd as _spmd
+from repro.analyze.dataflow.callgraph import Project
 from repro.analyze.dataflow.cfg import build_cfg
-from repro.analyze.findings import Report
+from repro.analyze.dataflow.engine import CallSummary
+from repro.analyze.dataflow.summaries import compute_summaries, module_envs
+from repro.analyze.findings import RULES, Report
 from repro.analyze.lint import iter_python_files
-from repro.analyze.suppress import apply_suppressions, collect_suppressions
+from repro.analyze.suppress import (
+    ALL,
+    Suppressions,
+    apply_suppressions,
+    collect_suppressions,
+)
 
-__all__ = ["analyze_source", "analyze_file", "analyze_paths"]
+__all__ = ["analyze_source", "analyze_file", "analyze_paths",
+           "analyze_source_set", "analyze_tree"]
+
+#: rule-code prefixes of the runtime/signature passes -- suppressions for
+#: these are never reported unused by the static drivers (the matching
+#: pass did not run here)
+_NON_STATIC_PREFIXES = ("SIG", "DLK", "REQ0", "P2P", "COL", "ZBS")
+
+
+def _run_dataflow(tree: ast.Module, path: str, report: Report,
+                  plans: Optional[List[_plans.CommunicationPlan]],
+                  env: Dict[str, CallSummary]) -> None:
+    """Run every dataflow rule pass over one parsed module."""
+    module_funcs = {
+        node.name: node for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    summary_cache = dict(env)
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        cfg = build_cfg(node)
+        _requests.check_function(cfg, module_funcs, path, report,
+                                 summary_cache)
+        _spmd.check_function(node, module_funcs, path, report, summary_cache)
+
+    file_plans, _ = _plans.extract_plans(tree, path, report)
+    if plans is not None:
+        plans.extend(file_plans)
+
+
+def _single_module_env(path: str, source: str,
+                       tree: ast.Module) -> Dict[str, CallSummary]:
+    project = Project([(path, source)])
+    # Project re-parses; reuse is not worth plumbing -- but keep the
+    # caller's tree authoritative for the rule phase
+    del tree
+    return module_envs(project, compute_summaries(project)).get(path, {})
 
 
 def analyze_source(
@@ -32,26 +96,10 @@ def analyze_source(
     """
     report = report if report is not None else Report()
     tree = ast.parse(source, filename=path)
-    suppressions = collect_suppressions(source)
+    suppressions = collect_suppressions(source, tree)
     local = Report()
-
-    module_funcs = {
-        node.name: node for node in tree.body
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-    }
-    summary_cache: dict = {}
-    for node in ast.walk(tree):
-        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
-        cfg = build_cfg(node)
-        _requests.check_function(cfg, module_funcs, path, local,
-                                 summary_cache)
-        _spmd.check_function(node, module_funcs, path, local, summary_cache)
-
-    file_plans, _ = _plans.extract_plans(tree, path, local)
-    if plans is not None:
-        plans.extend(file_plans)
-
+    _run_dataflow(tree, path, local, plans,
+                  _single_module_env(path, source, tree))
     report.extend(apply_suppressions(local, suppressions))
     return report
 
@@ -71,9 +119,98 @@ def analyze_paths(
     report: Optional[Report] = None,
     plans: Optional[List[_plans.CommunicationPlan]] = None,
 ) -> Tuple[Report, List[_plans.CommunicationPlan]]:
-    """Dataflow-analyze every ``.py`` file under ``paths``."""
+    """Dataflow-analyze every ``.py`` file under ``paths`` as one
+    project (cross-file summaries resolve through imports)."""
     report = report if report is not None else Report()
     plans = plans if plans is not None else []
-    for path in iter_python_files(paths):
-        analyze_file(path, report, plans)
+    sources = [(str(p), Path(p).read_text(encoding="utf-8"))
+               for p in iter_python_files(paths)]
+    project = Project(sources)
+    envs = module_envs(project, compute_summaries(project))
+    for path, source in sources:
+        suppressions = collect_suppressions(
+            source, project.modules[path].tree)
+        local = Report()
+        _run_dataflow(project.modules[path].tree, path, local, plans,
+                      envs.get(path, {}))
+        report.extend(apply_suppressions(local, suppressions))
+    return report, plans
+
+
+# -- combined lint + dataflow entry ------------------------------------------
+
+
+def _unused_suppression_eligible(code: str, dataflow: bool) -> bool:
+    """Whether an unmatched suppression for ``code`` is worth flagging:
+    only when the pass family that could have matched it actually ran
+    (unknown codes are always flagged -- they match nothing, ever)."""
+    if code == ALL:
+        return False
+    if code not in RULES:
+        return True  # typo'd rule code: can never match anything
+    if code.startswith(_NON_STATIC_PREFIXES):
+        return False
+    if code.startswith("LNT"):
+        return True  # the lint pass always runs in analyze_tree
+    return dataflow  # REQ1xx / BUF1xx / SPMD1xx / PLAN1xx
+
+
+def _report_unused_suppressions(suppressions: Suppressions, path: str,
+                                report: Report, dataflow: bool) -> None:
+    for line, code in suppressions.unused_sites():
+        if not _unused_suppression_eligible(code, dataflow):
+            continue
+        report.add(
+            "LNT007",
+            f"suppression '# analyze: ignore[{code}]' matches no finding"
+            + ("" if code in RULES else f" (unknown rule code {code!r})"),
+            location=path, line=line,
+            key=("LNT007", path, line, code),
+        )
+
+
+def analyze_tree(
+    paths: Iterable[Union[str, Path]],
+    report: Optional[Report] = None,
+    plans: Optional[List[_plans.CommunicationPlan]] = None,
+    dataflow: bool = True,
+) -> Tuple[Report, List[_plans.CommunicationPlan]]:
+    """Lint + (optionally) dataflow-analyze a file set as one project,
+    with a single suppression index per file shared by both passes, and
+    LNT007 findings for suppressions that matched nothing."""
+    sources = [(str(p), Path(p).read_text(encoding="utf-8"))
+               for p in iter_python_files(paths)]
+    return analyze_source_set(sources, report, plans, dataflow)
+
+
+def analyze_source_set(
+    sources: List[Tuple[str, str]],
+    report: Optional[Report] = None,
+    plans: Optional[List[_plans.CommunicationPlan]] = None,
+    dataflow: bool = True,
+) -> Tuple[Report, List[_plans.CommunicationPlan]]:
+    """:func:`analyze_tree` over in-memory ``(path, text)`` pairs -- the
+    entry the ``--fix`` rewriter iterates without touching disk."""
+    from repro.analyze.lint import _Linter
+
+    report = report if report is not None else Report()
+    plans = plans if plans is not None else []
+    envs: Dict[str, Dict[str, CallSummary]] = {}
+    if dataflow:
+        project = Project(sources)
+        envs = module_envs(project, compute_summaries(project))
+        trees = {path: project.modules[path].tree for path, _ in sources}
+    else:
+        trees = {path: ast.parse(text, filename=path)
+                 for path, text in sources}
+    for path, source in sources:
+        tree = trees[path]
+        suppressions = collect_suppressions(source, tree)
+        local = Report()
+        _Linter(path, local).visit(tree)
+        if dataflow:
+            _run_dataflow(tree, path, local, plans, envs.get(path, {}))
+        filtered = apply_suppressions(local, suppressions)
+        _report_unused_suppressions(suppressions, path, filtered, dataflow)
+        report.extend(filtered)
     return report, plans

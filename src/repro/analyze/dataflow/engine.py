@@ -198,26 +198,53 @@ WAIT_METHODS = frozenset({"wait", "test", "waitall", "waitany"})
 
 
 class CallSummary:
-    """What one helper function does to its parameters -- the one-level
-    interprocedural summary used at ``yield from helper(...)`` sites."""
+    """What one helper function does to its parameters -- the
+    interprocedural summary consulted at ``helper(...)`` call sites.
+
+    :func:`summarize_function` fills the one-level (direct-effects-only)
+    fields; :mod:`repro.analyze.dataflow.summaries` recomputes them
+    *transitively* over the project call graph and additionally fills
+    ``returns_request`` / ``returns_tainted``.
+    """
 
     __slots__ = ("name", "params", "waits_params", "calls_collective",
-                 "calls_blocking")
+                 "calls_blocking", "returns_request", "request_kind",
+                 "returns_tainted")
 
     def __init__(self, name: str, params: List[str],
                  waits_params: Set[int], calls_collective: bool,
-                 calls_blocking: bool):
+                 calls_blocking: bool, returns_request: bool = False,
+                 request_kind: str = "send",
+                 returns_tainted: bool = False):
         self.name = name
         self.params = params
         #: positional parameter indices on which .wait()/.test() is called
+        #: (directly or through a callee that waits them)
         self.waits_params = waits_params
         self.calls_collective = calls_collective
         self.calls_blocking = calls_blocking
+        #: the function may return a pending request it created -- the
+        #: caller adopts the wait obligation
+        self.returns_request = returns_request
+        #: "send" / "recv" for a returned request
+        self.request_kind = request_kind
+        #: the return value is rank-derived (the helper reads comm.rank)
+        self.returns_tainted = returns_tainted
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CallSummary):
+            return NotImplemented
+        return all(getattr(self, f) == getattr(other, f)
+                   for f in CallSummary.__slots__)
+
+    def __hash__(self) -> int:  # pragma: no cover - summaries live in dicts
+        return hash((self.name, tuple(self.params)))
 
 
 def summarize_function(func: ast.AST) -> CallSummary:
     """Build the flow-insensitive summary of one module-level function."""
-    params = [a.arg for a in func.args.posonlyargs + func.args.args]
+    params = [a.arg for a in (func.args.posonlyargs + func.args.args
+                              + func.args.kwonlyargs)]
     waits: Set[int] = set()
     calls_collective = False
     calls_blocking = False

@@ -143,6 +143,14 @@ class _FunctionFacts:
         if isinstance(stmt, ast.AugAssign) and isinstance(
                 stmt.target, ast.Name):
             writes.add(stmt.target.id)
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            # a returned request escapes: the caller adopts the wait
+            # obligation (the transitive summary marks returns_request,
+            # so the call site regenerates the fact over there)
+            for sub in ast.walk(stmt.value):
+                if isinstance(sub, ast.Name) and isinstance(
+                        sub.ctx, ast.Load):
+                    escapes.add(sub.id)
         completes |= driven
 
         self.completes[idx] = completes
@@ -177,15 +185,20 @@ class _FunctionFacts:
         if isinstance(fn, ast.Name):
             summary = self.summaries.get(fn.id)
             if summary is not None:
-                # one-level call summary: only the waited params complete;
-                # other known-helper params stay pending (precise), while
-                # falling back to escape for extra/keyword args
+                # call summary: only the waited params complete; other
+                # known-helper params stay pending (precise), while
+                # falling back to escape for extra positional args
                 for pos, arg in enumerate(call.args):
                     if not isinstance(arg, ast.Name):
                         continue
                     if pos in summary.waits_params:
                         completes.add(arg.id)
-                escapes.update(kw_names)
+                for kw in call.keywords:
+                    if not isinstance(kw.value, ast.Name):
+                        continue
+                    if kw.arg in summary.params and summary.params.index(
+                            kw.arg) in summary.waits_params:
+                        completes.add(kw.value.id)
                 return
         escapes.update(arg_names + kw_names)
 
@@ -203,11 +216,25 @@ class _FunctionFacts:
         if not names:
             return
         call = _call_of(value)
-        if call is None or not isinstance(call.func, ast.Attribute):
+        if call is None:
             return
-        attr = call.func.attr
         facts: Set[Tuple] = set()
         wrapped = isinstance(value, (ast.YieldFrom, ast.Await))
+        if isinstance(call.func, ast.Name):
+            # `req = make_request(..)` / `req = yield from make_request(..)`
+            # where the transitive summary says the helper hands back a
+            # pending request: the wait obligation lands here
+            summary = self.summaries.get(call.func.id)
+            if summary is not None and summary.returns_request:
+                for name in names:
+                    facts.add(("req", name, idx, summary.request_kind, None))
+                self.gen[idx] = facts
+                self.completes[idx] = self.completes[idx] - set(names)
+                self.escapes[idx] = self.escapes[idx] - set(names)
+            return
+        if not isinstance(call.func, ast.Attribute):
+            return
+        attr = call.func.attr
         if attr in ISEND_METHODS and wrapped:
             for name in names:
                 facts.add(("req", name, idx, "send", _buffer_name(call)))

@@ -51,19 +51,31 @@ from repro.analyze.findings import Report
 RANK_ATTRS = frozenset({"rank", "grank"})
 
 
-def _expr_tainted(expr: ast.AST, tainted: Set[str]) -> bool:
+def _expr_tainted(expr: ast.AST, tainted: Set[str],
+                  summaries: Optional[Dict[str, CallSummary]] = None) -> bool:
     for sub in ast.walk(expr):
         if isinstance(sub, ast.Attribute) and sub.attr in RANK_ATTRS:
             return True
         if (isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
                 and sub.id in tainted):
             return True
+        if (summaries and isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)):
+            # interprocedural seed: a helper whose summary says its
+            # return value is rank-derived (`if _am_i_root(comm): ...`)
+            summary = summaries.get(sub.func.id)
+            if summary is not None and summary.returns_tainted:
+                return True
     return False
 
 
-def tainted_names(func: ast.AST) -> Set[str]:
+def tainted_names(func: ast.AST,
+                  summaries: Optional[Dict[str, CallSummary]] = None,
+                  ) -> Set[str]:
     """Names carrying rank-derived values anywhere in ``func`` (fixpoint
-    over simple assignments; augmented assignments taint their target)."""
+    over simple assignments; augmented assignments taint their target).
+    With ``summaries``, calls to helpers whose return value is
+    rank-derived also seed taint."""
     tainted: Set[str] = set()
     assigns: List[Tuple[Set[str], ast.AST]] = []
     for node in ast.walk(func):
@@ -87,7 +99,7 @@ def tainted_names(func: ast.AST) -> Set[str]:
     while changed:
         changed = False
         for names, value in assigns:
-            if names - tainted and _expr_tainted(value, tainted):
+            if names - tainted and _expr_tainted(value, tainted, summaries):
                 tainted |= names
                 changed = True
     return tainted
@@ -157,7 +169,7 @@ class _SpmdVisitor:
         self.path = path
         self.report = report
         self.summaries = summaries
-        self.tainted = tainted_names(func)
+        self.tainted = tainted_names(func, summaries)
         self.guards: List[_Guard] = []
         #: (exit_line, guard_line, methods executed by the exiting branch)
         self.exits: List[Tuple[int, int, Set[str]]] = []
@@ -209,7 +221,7 @@ class _SpmdVisitor:
             self._check(stmt)
 
     def _if(self, node: ast.If, rest: Sequence[ast.stmt]) -> None:
-        if not _expr_tainted(node.test, self.tainted):
+        if not _expr_tainted(node.test, self.tainted, self.summaries):
             self._walk(node.body, rest)
             self._walk(node.orelse, rest)
             return
@@ -232,7 +244,7 @@ class _SpmdVisitor:
 
     def _loop(self, stmt: ast.stmt, cond: ast.AST,
               rest: Sequence[ast.stmt]) -> None:
-        tainted = _expr_tainted(cond, self.tainted)
+        tainted = _expr_tainted(cond, self.tainted, self.summaries)
         if tainted:
             # no "other side" to match: a rank-dependent trip count means
             # unequal numbers of collective calls across ranks

@@ -1,0 +1,267 @@
+"""Transitive per-function summaries over the project call graph.
+
+:func:`repro.analyze.dataflow.engine.summarize_function` sees one level:
+it answers "does *this body* wait parameter 0?".  That misses every
+helper-of-a-helper, any request a function *returns*, and rank taint
+flowing out through return values.  This module recomputes the
+:class:`~repro.analyze.dataflow.engine.CallSummary` fields
+*transitively*:
+
+- ``waits_params``: the function waits parameter *i* directly **or**
+  passes it (positionally or by keyword) into a callee that waits the
+  receiving parameter;
+- ``calls_collective`` / ``calls_blocking``: directly or through any
+  resolved callee;
+- ``returns_request`` / ``request_kind``: some ``return`` hands back a
+  pending request the function created (directly via
+  ``isend``/``irecv``/``isend_obj``, or by forwarding a callee's
+  returned request) -- the caller adopts the wait obligation;
+- ``returns_tainted``: some ``return`` value is rank-derived, so
+  ``if helper(comm):`` guards are rank-dependent branches in callers.
+
+Order and termination
+---------------------
+
+Summaries are computed bottom-up over the Tarjan condensation from
+:func:`repro.analyze.dataflow.callgraph.strongly_connected`: every
+callee's final summary exists before its callers are summarized.
+Recursive components are iterated to a *local fixpoint*: members start
+from their direct (one-level) summaries and are re-summarized against
+each other until nothing changes.  All summary fields live in finite
+lattices (bit flags, subsets of a fixed parameter list) and the
+transfer is monotone, so the fixpoint exists; the iteration is still
+capped at :data:`MAX_SCC_ITERATIONS` as a widening backstop -- hitting
+the cap keeps the (sound, possibly less precise) current summaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.analyze.dataflow.callgraph import (
+    FunctionRef,
+    ModuleInfo,
+    Project,
+    strongly_connected,
+)
+from repro.analyze.dataflow.engine import (
+    BLOCKING_METHODS,
+    COLLECTIVE_METHODS,
+    WAIT_METHODS,
+    CallSummary,
+)
+from repro.analyze.dataflow.spmd import tainted_names
+
+__all__ = ["MAX_SCC_ITERATIONS", "compute_summaries", "module_envs"]
+
+#: widening backstop for recursive components (the lattice is finite, so
+#: genuine divergence is impossible; this guards against pathological
+#: component sizes)
+MAX_SCC_ITERATIONS = 32
+
+#: request creators, by shape (kept in sync with requests.py)
+_WRAPPED_REQUEST_METHODS = {"isend": "send"}
+_DIRECT_REQUEST_METHODS = {"irecv": "recv", "isend_obj": "send"}
+
+
+def _unwrap_call(value: ast.AST) -> Optional[ast.Call]:
+    if isinstance(value, (ast.YieldFrom, ast.Await)):
+        value = value.value
+    return value if isinstance(value, ast.Call) else None
+
+
+def _creates_request(value: ast.AST,
+                     env: Dict[str, CallSummary]) -> Optional[str]:
+    """``"send"``/``"recv"`` when ``value`` evaluates to a fresh pending
+    request, else None."""
+    call = _unwrap_call(value)
+    if call is None:
+        return None
+    wrapped = isinstance(value, (ast.YieldFrom, ast.Await))
+    fn = call.func
+    if isinstance(fn, ast.Attribute):
+        if wrapped and fn.attr in _WRAPPED_REQUEST_METHODS:
+            return _WRAPPED_REQUEST_METHODS[fn.attr]
+        if not wrapped and fn.attr in _DIRECT_REQUEST_METHODS:
+            return _DIRECT_REQUEST_METHODS[fn.attr]
+        return None
+    if isinstance(fn, ast.Name):
+        summary = env.get(fn.id)
+        if summary is not None and summary.returns_request:
+            return summary.request_kind
+    return None
+
+
+def _request_locals(func: ast.AST,
+                    env: Dict[str, CallSummary]) -> Dict[str, str]:
+    """local name -> kind, for names ever assigned a fresh request."""
+    out: Dict[str, str] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            targets: Iterable[ast.AST] = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        kind = _creates_request(value, env)
+        if kind is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = kind
+    return out
+
+
+def _iter_calls(func: ast.AST) -> Iterable[ast.Call]:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _summarize(name: str, func: ast.AST,
+               env: Dict[str, CallSummary]) -> CallSummary:
+    """Summarize one function body against callee summaries in ``env``."""
+    # keyword-only params ride at the end: positional call-site mapping
+    # stays index-accurate, keyword mapping finds them by name
+    params = [a.arg for a in (func.args.posonlyargs + func.args.args
+                              + func.args.kwonlyargs)]
+    param_index = {p: i for i, p in enumerate(params)}
+    waits: Set[int] = set()
+    calls_collective = False
+    calls_blocking = False
+
+    for call in _iter_calls(func):
+        fn = call.func
+        if isinstance(fn, ast.Attribute):
+            if fn.attr in COLLECTIVE_METHODS:
+                calls_collective = True
+            if fn.attr in BLOCKING_METHODS:
+                calls_blocking = True
+            if fn.attr in WAIT_METHODS:
+                if isinstance(fn.value, ast.Name) \
+                        and fn.value.id in param_index:
+                    waits.add(param_index[fn.value.id])
+                for arg in call.args:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Name) and isinstance(
+                                sub.ctx, ast.Load) \
+                                and sub.id in param_index:
+                            waits.add(param_index[sub.id])
+        elif isinstance(fn, ast.Name):
+            callee = env.get(fn.id)
+            if callee is None:
+                continue
+            calls_collective |= callee.calls_collective
+            calls_blocking |= callee.calls_blocking
+            # map waited callee parameters back onto our own parameters
+            for pos, arg in enumerate(call.args):
+                if pos in callee.waits_params and isinstance(arg, ast.Name) \
+                        and arg.id in param_index:
+                    waits.add(param_index[arg.id])
+            for kw in call.keywords:
+                if kw.arg in callee.params \
+                        and callee.params.index(kw.arg) in callee.waits_params \
+                        and isinstance(kw.value, ast.Name) \
+                        and kw.value.id in param_index:
+                    waits.add(param_index[kw.value.id])
+
+    request_locals = _request_locals(func, env)
+    returns_request = False
+    request_kind = "send"
+    tainted = tainted_names(func, env)
+    returns_tainted = False
+    for node in ast.walk(func):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not func:
+            continue
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        kind = _creates_request(node.value, env)
+        if kind is None and isinstance(node.value, ast.Name):
+            kind = request_locals.get(node.value.id)
+        if kind is not None and not returns_request:
+            returns_request = True
+            request_kind = kind
+        if _returns_tainted_value(node.value, tainted, env):
+            returns_tainted = True
+    return CallSummary(name, params, waits, calls_collective, calls_blocking,
+                       returns_request=returns_request,
+                       request_kind=request_kind,
+                       returns_tainted=returns_tainted)
+
+
+def _returns_tainted_value(value: ast.AST, tainted: Set[str],
+                           env: Dict[str, CallSummary]) -> bool:
+    for sub in ast.walk(value):
+        if isinstance(sub, ast.Attribute) and sub.attr in ("rank", "grank"):
+            return True
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load) \
+                and sub.id in tainted:
+            return True
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name):
+            callee = env.get(sub.func.id)
+            if callee is not None and callee.returns_tainted:
+                return True
+    return False
+
+
+def _env_for(project: Project, module: ModuleInfo,
+             summaries: Dict[FunctionRef, CallSummary],
+             ) -> Dict[str, CallSummary]:
+    """Callee summaries visible by local name inside ``module`` (local
+    functions plus resolved ``from ... import`` bindings), restricted to
+    what has been computed so far."""
+    env: Dict[str, CallSummary] = {}
+    for local in module.functions:
+        ref = (module.path, local)
+        if ref in summaries:
+            env[local] = summaries[ref]
+    for local in module.imports:
+        ref = project.resolve(module, local)
+        if ref is not None and ref in summaries and local not in env:
+            env[local] = summaries[ref]
+    return env
+
+
+def compute_summaries(project: Project) -> Dict[FunctionRef, CallSummary]:
+    """Transitive summaries for every top-level function in ``project``,
+    computed bottom-up over the call-graph condensation."""
+    edges = project.call_edges()
+    summaries: Dict[FunctionRef, CallSummary] = {}
+    for scc in strongly_connected(project.function_refs(), edges):
+        # seed every member so mutually recursive calls resolve during
+        # the component's local fixpoint iteration
+        for ref in scc:
+            module = project.modules[ref[0]]
+            env = _env_for(project, module, summaries)
+            summaries[ref] = _summarize(ref[1], project.function(ref), env)
+        if len(scc) == 1 and scc[0] not in edges.get(scc[0], []):
+            continue  # non-recursive: one pass is exact
+        for _ in range(MAX_SCC_ITERATIONS):
+            changed = False
+            for ref in scc:
+                module = project.modules[ref[0]]
+                env = _env_for(project, module, summaries)
+                new = _summarize(ref[1], project.function(ref), env)
+                if new != summaries[ref]:
+                    summaries[ref] = new
+                    changed = True
+            if not changed:
+                break
+    return summaries
+
+
+def module_envs(project: Project,
+                summaries: Optional[Dict[FunctionRef, CallSummary]] = None,
+                ) -> Dict[str, Dict[str, CallSummary]]:
+    """Per-module ``local name -> CallSummary`` environments, ready to
+    prefill the rule passes' ``summary_cache``."""
+    if summaries is None:
+        summaries = compute_summaries(project)
+    return {
+        path: _env_for(project, module, summaries)
+        for path, module in project.modules.items()
+    }

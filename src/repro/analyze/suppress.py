@@ -15,17 +15,26 @@ carry their marker above::
     # justified because ...  # analyze: ignore[BUF101]
     req = yield from comm.isend(really_long_expression, partner, tag)
 
+Decorated functions report findings at the ``def`` line, which sits
+below the decorator list; :func:`collect_suppressions` therefore also
+propagates a suppression found on a decorator line (or on the comment
+line above it) down to the ``def`` line when given the module AST.
+
 Suppressions are collected with :mod:`tokenize` so strings containing
 the marker text do not count, and applied uniformly by lint
 (:func:`repro.analyze.lint.lint_source`) and the dataflow passes.
+Every comment site tracks whether it actually matched a finding;
+:meth:`Suppressions.unused_sites` feeds the LNT007 unused-suppression
+lint.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analyze.findings import Report
 
@@ -40,28 +49,59 @@ ALL = "*"
 
 
 class Suppressions:
-    """Line -> suppressed-rule index for one source file."""
+    """Line -> suppressed-rule index for one source file.
 
-    def __init__(self, by_line: Optional[Dict[int, Set[str]]] = None):
-        self.by_line: Dict[int, Set[str]] = by_line or {}
+    ``by_line[line][code]`` holds the set of *comment lines* that put
+    ``code`` in effect at ``line`` (a comment covers its own line, may
+    cover the line below, and may be propagated to a ``def`` line) --
+    so a match can be attributed back to the comment that earned it.
+    """
+
+    def __init__(self,
+                 by_line: Optional[Dict[int, Dict[str, Set[int]]]] = None):
+        self.by_line: Dict[int, Dict[str, Set[int]]] = by_line or {}
         #: findings dropped by :func:`apply_suppressions`
         self.suppressed_count = 0
+        #: every (comment line, code) written in the file
+        self.sites: Set[Tuple[int, str]] = set()
+        #: sites that matched at least one finding
+        self.used: Set[Tuple[int, str]] = set()
 
     def is_suppressed(self, rule: str, line: Optional[int]) -> bool:
+        """Whether ``rule`` at ``line`` is suppressed; marks the
+        responsible comment site(s) used."""
         if line is None:
             return False
         codes = self.by_line.get(line)
         if not codes:
             return False
-        return ALL in codes or rule in codes
+        hit = False
+        for code in (ALL, rule):
+            for origin in codes.get(code, ()):
+                self.used.add((origin, code))
+                hit = True
+        return hit
+
+    def unused_sites(self) -> List[Tuple[int, str]]:
+        """(comment line, code) pairs that matched nothing, sorted."""
+        return sorted(self.sites - self.used)
 
     def __bool__(self) -> bool:
         return bool(self.by_line)
 
 
-def collect_suppressions(source: str) -> Suppressions:
-    """Scan ``source`` for ``# analyze: ignore[...]`` comments."""
-    by_line: Dict[int, Set[str]] = {}
+def collect_suppressions(source: str,
+                         tree: Optional[ast.Module] = None) -> Suppressions:
+    """Scan ``source`` for ``# analyze: ignore[...]`` comments.
+
+    With ``tree`` (the parsed module), suppressions sitting on decorator
+    lines are additionally registered at the decorated ``def`` line.
+    """
+    supp = Suppressions()
+
+    def register(line: int, code: str, origin: int) -> None:
+        supp.by_line.setdefault(line, {}).setdefault(code, set()).add(origin)
+
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for tok in tokens:
@@ -77,14 +117,29 @@ def collect_suppressions(source: str) -> Suppressions:
                 codes = {c.strip().upper() for c in raw.split(",") if c.strip()}
                 if not codes:
                     codes = {ALL}
-            by_line.setdefault(tok.start[0], set()).update(codes)
-            if tok.line.strip().startswith("#"):
-                # a comment-only line also covers the statement below it
-                by_line.setdefault(tok.start[0] + 1, set()).update(codes)
+            origin = tok.start[0]
+            for code in codes:
+                supp.sites.add((origin, code))
+                register(origin, code, origin)
+                if tok.line.strip().startswith("#"):
+                    # a comment-only line also covers the statement below
+                    register(origin + 1, code, origin)
     except (tokenize.TokenError, IndentationError, SyntaxError):
         # unparseable comment stream: no suppressions, analysis proceeds
         pass
-    return Suppressions(by_line)
+
+    if tree is not None:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                continue
+            if not node.decorator_list:
+                continue
+            for dec in node.decorator_list:
+                for code, origins in supp.by_line.get(dec.lineno, {}).items():
+                    for origin in origins:
+                        register(node.lineno, code, origin)
+    return supp
 
 
 def apply_suppressions(report: Report, suppressions: Suppressions) -> Report:

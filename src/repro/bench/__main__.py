@@ -61,6 +61,13 @@ def _parse(argv: list[str]) -> argparse.Namespace:
                         default="tuning_table.json",
                         help="where --autotune writes the table "
                              "(default: %(default)s)")
+    parser.add_argument("--plans", metavar="PATH", default=None,
+                        help="repro-plans/1 document (from 'python -m "
+                             "repro.analyze --dataflow --plans-out') used "
+                             "to pre-seed the tuning table; --autotune "
+                             "then skips statically classified buckets "
+                             "and fails unless that strictly reduced the "
+                             "warmup-simulation count")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed for the simulator's CPU-jitter RNG; "
                              "one value reproduces a whole run bit-for-bit "
@@ -83,8 +90,22 @@ def _figure_kwargs(name: str, quick: bool, seed: int = 0) -> dict:
 def _run_autotune(args: argparse.Namespace) -> int:
     """Train a tuning table, validate it against the fixed configs."""
     from repro.mpi.algorithms.autotune import (
-        autotune, check_ties_or_beats, compare_policies,
+        AutotuneStats, autotune, check_ties_or_beats, compare_policies,
+        count_warmup_runs,
     )
+
+    preseed_doc = None
+    if args.plans:
+        try:
+            with open(args.plans) as fh:
+                preseed_doc = json.load(fh)
+            if preseed_doc.get("schema") != "repro-plans/1":
+                raise ValueError(
+                    "not a repro-plans/1 document "
+                    f"(schema={preseed_doc.get('schema')!r})")
+        except (OSError, ValueError) as exc:
+            print(f"--plans {args.plans}: {exc}", file=sys.stderr)
+            return 2
 
     t0 = time.time()
     if args.profile:
@@ -93,10 +114,23 @@ def _run_autotune(args: argparse.Namespace) -> int:
         session.enable()
     try:
         print(f"== autotune sweep ({'quick' if args.quick else 'full'}) ==")
-        table = autotune(quick=args.quick, verbose=True)
+        stats = AutotuneStats()
+        table = autotune(quick=args.quick, verbose=True,
+                         preseed=preseed_doc, stats=stats)
         table.save(args.tuning_out)
         print(f"tuning table ({len(table)} buckets) written to "
               f"{args.tuning_out}")
+        if preseed_doc is not None:
+            cold = count_warmup_runs(quick=args.quick)
+            print(f"warmup simulations: {stats.warmup_runs} pre-seeded "
+                  f"vs {cold} cold "
+                  f"({stats.scenarios_skipped}/{stats.scenarios_total} "
+                  "scenario(s) skipped via static plans)")
+            if stats.warmup_runs >= cold:
+                print("pre-seeding did NOT reduce the warmup-simulation "
+                      "count (no sweep scenario landed in a statically "
+                      "classified bucket)")
+                return 1
         print()
 
         fig = compare_policies(args.tuning_out, quick=args.quick)

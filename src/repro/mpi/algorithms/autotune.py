@@ -12,6 +12,7 @@ table ties-or-beats both fixed configurations.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,6 +21,25 @@ from repro.mpi.algorithms.registry import REGISTRY, SelectionContext
 from repro.mpi.algorithms.tuning import TuningTable, bucket_key
 from repro.mpi.config import MPIConfig
 from repro.util.costmodel import CostModel
+
+
+@dataclass
+class AutotuneStats:
+    """Sweep accounting: how much simulator warmup did training cost?"""
+
+    #: scenarios in the sweep grid
+    scenarios_total: int = 0
+    #: scenarios skipped because their bucket was statically pre-seeded
+    scenarios_skipped: int = 0
+    #: simulator measurements actually executed (one per candidate
+    #: algorithm per measured scenario)
+    warmup_runs: int = 0
+    #: bucket keys seeded from the static plans document
+    preseeded_keys: List[str] = field(default_factory=list)
+
+    @property
+    def scenarios_measured(self) -> int:
+        return self.scenarios_total - self.scenarios_skipped
 
 #: communicator sizes the sweep trains (quick keeps the suite CI-sized)
 PROCS = (4, 6, 8, 16, 32, 64)
@@ -101,31 +121,63 @@ def _measure_alltoallw(n: int, pattern: str, algorithm: str,
 
 def autotune(quick: bool = False, cost: Optional[CostModel] = None,
              procs: Optional[Sequence[int]] = None,
-             verbose: bool = False) -> TuningTable:
-    """Measure every applicable candidate per scenario; return the table."""
+             verbose: bool = False,
+             preseed: Optional[dict] = None,
+             stats: Optional[AutotuneStats] = None) -> TuningTable:
+    """Measure every applicable candidate per scenario; return the table.
+
+    ``preseed`` is a ``repro-plans/1`` document (the analyzer's static
+    communication plans): its bucket predictions are ingested first, and
+    any sweep scenario landing in a statically seeded bucket is *skipped*
+    -- the static classification replaces the warmup measurements for
+    that bucket.  ``stats`` (when given) is filled with the sweep
+    accounting, so callers can assert pre-seeding reduced warmup work.
+    """
     cost = cost or CostModel(cpu_noise=0.0)
     procs = tuple(procs) if procs is not None else (PROCS_QUICK if quick else PROCS)
     config = MPIConfig.optimized()  # engine flags on; selection is forced below
+    stats = stats if stats is not None else AutotuneStats()
     table = TuningTable(cost_model={
         "alpha": cost.alpha, "beta": cost.beta, "copy_byte": cost.copy_byte,
     })
+    if preseed is not None:
+        before = set(table.entries)
+        table.preseed(preseed)
+        stats.preseeded_keys = sorted(set(table.entries) - before)
+        if verbose and stats.preseeded_keys:
+            print(f"  pre-seeded {len(stats.preseeded_keys)} bucket(s) "
+                  "from static plans")
+
+    def skip(key: str, what: str, label: str, n: int) -> bool:
+        if table.source(key) != "static":
+            return False
+        stats.scenarios_skipped += 1
+        if verbose:
+            print(f"  {what} {label:>14} N={n:<3} -> "
+                  f"pre-seeded, sweep skipped ({key})")
+        return True
 
     for label, n, counts in _allgatherv_scenarios(procs):
+        stats.scenarios_total += 1
         volumes = [c * DOUBLE_BYTES for c in counts]
         ctx = SelectionContext(collective="allgatherv", size=n,
                                volumes=tuple(volumes), dtype_size=DOUBLE_BYTES,
                                config=config, cost=cost)
+        key = bucket_key(ctx)
+        if skip(key, "allgatherv", label, n):
+            continue
         latencies: Dict[str, float] = {}
         for algorithm in REGISTRY.candidates("allgatherv", ctx):
             latencies[algorithm.name] = _measure_allgatherv(
                 n, counts, algorithm.name, config, cost)
-        key = bucket_key(ctx)
+            stats.warmup_runs += 1
         table.record(key, latencies)
         if verbose:
             winner = min(latencies, key=latencies.get)
             print(f"  allgatherv {label:>14} N={n:<3} -> {winner:<18} ({key})")
 
     for label, n, pattern in _alltoallw_scenarios(procs):
+        stats.scenarios_total += 1
         volumes = [0] * n
         if pattern == "ring":
             volumes[(0 + 1) % n] = volumes[(0 - 1) % n] = 100 * DOUBLE_BYTES
@@ -135,17 +187,51 @@ def autotune(quick: bool = False, cost: Optional[CostModel] = None,
         ctx = SelectionContext(collective="alltoallw", size=n,
                                volumes=tuple(volumes), dtype_size=DOUBLE_BYTES,
                                config=config, cost=cost)
+        key = bucket_key(ctx)
+        if skip(key, "alltoallw ", label, n):
+            continue
         latencies = {}
         for algorithm in REGISTRY.candidates("alltoallw", ctx):
             latencies[algorithm.name] = _measure_alltoallw(
                 n, pattern, algorithm.name, config, cost)
-        key = bucket_key(ctx)
+            stats.warmup_runs += 1
         table.record(key, latencies)
         if verbose:
             winner = min(latencies, key=latencies.get)
             print(f"  alltoallw  {label:>14} N={n:<3} -> {winner:<18} ({key})")
 
     return table
+
+
+def count_warmup_runs(quick: bool = False, cost: Optional[CostModel] = None,
+                      procs: Optional[Sequence[int]] = None) -> int:
+    """How many simulator measurements a *cold* (un-seeded) sweep would
+    execute -- the same grid walk as :func:`autotune`, candidates counted
+    instead of measured.  Used by the bench CLI / CI to assert that
+    pre-seeding strictly reduces warmup work without paying for a second
+    full sweep."""
+    cost = cost or CostModel(cpu_noise=0.0)
+    procs = tuple(procs) if procs is not None else (PROCS_QUICK if quick else PROCS)
+    config = MPIConfig.optimized()
+    runs = 0
+    for _label, n, counts in _allgatherv_scenarios(procs):
+        volumes = [c * DOUBLE_BYTES for c in counts]
+        ctx = SelectionContext(collective="allgatherv", size=n,
+                               volumes=tuple(volumes), dtype_size=DOUBLE_BYTES,
+                               config=config, cost=cost)
+        runs += len(REGISTRY.candidates("allgatherv", ctx))
+    for _label, n, pattern in _alltoallw_scenarios(procs):
+        volumes = [0] * n
+        if pattern == "ring":
+            volumes[(0 + 1) % n] = volumes[(0 - 1) % n] = 100 * DOUBLE_BYTES
+        else:
+            volumes = [100 * DOUBLE_BYTES] * n
+            volumes[0] = 0
+        ctx = SelectionContext(collective="alltoallw", size=n,
+                               volumes=tuple(volumes), dtype_size=DOUBLE_BYTES,
+                               config=config, cost=cost)
+        runs += len(REGISTRY.candidates("alltoallw", ctx))
+    return runs
 
 
 def compare_policies(table_path: str, quick: bool = False,

@@ -240,7 +240,10 @@ class AutotunedPolicy(SelectionPolicy):
     A table hit costs one bucket classification plus a dict probe -- no
     simulated CPU is charged, unlike the adaptive policy's linear-time
     detection pass.  Untrained buckets fall back to the adaptive rule
-    (with its honest detection cost)."""
+    (with its honest detection cost).  Entries pre-seeded from the
+    analyzer's static communication plans (``source: "static"``) decide
+    with reason ``table:static`` so metrics distinguish measured
+    evidence from static prediction."""
 
     name = "autotuned"
     CACHE_SIZE = 256
@@ -251,7 +254,8 @@ class AutotunedPolicy(SelectionPolicy):
             table = load_table(config.tuning_table)
         self.table = table
         self._fallback = AdaptivePolicy(config)
-        self._cache: "OrderedDict[str, str]" = OrderedDict()
+        #: bucket key -> (algorithm, reason)
+        self._cache: "OrderedDict[str, tuple]" = OrderedDict()
 
     def decide(self, ctx: SelectionContext, prof: Any = NULL_PROFILER) -> Decision:
         sole = self._sole(ctx)
@@ -261,24 +265,28 @@ class AutotunedPolicy(SelectionPolicy):
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
-            if REGISTRY.get(ctx.collective, cached).applicable(ctx):
-                return Decision(ctx.collective, cached, self.name,
-                                reason="table", cache="hit")
+            algorithm, reason = cached
+            if REGISTRY.get(ctx.collective, algorithm).applicable(ctx):
+                return Decision(ctx.collective, algorithm, self.name,
+                                reason=reason, cache="hit")
         algorithm = self.table.lookup(key) if self.table is not None else None
         if (algorithm is not None
                 and algorithm in REGISTRY.names(ctx.collective)
                 and REGISTRY.get(ctx.collective, algorithm).applicable(ctx)):
-            self._remember(key, algorithm)
+            reason = ("table:static"
+                      if self.table.source(key) == "static" else "table")
+            self._remember(key, algorithm, reason)
             return Decision(ctx.collective, algorithm, self.name,
-                            reason="table", cache="miss")
+                            reason=reason, cache="miss")
         decision = self._fallback.decide(ctx, prof)
         decision.policy = self.name
         decision.reason = f"untrained->{decision.reason}"
         decision.cache = "miss"
         return decision
 
-    def _remember(self, key: str, algorithm: str) -> None:
-        self._cache[key] = algorithm
+    def _remember(self, key: str, algorithm: str,
+                  reason: str = "table") -> None:
+        self._cache[key] = (algorithm, reason)
         self._cache.move_to_end(key)
         while len(self._cache) > self.CACHE_SIZE:
             self._cache.popitem(last=False)

@@ -1,0 +1,67 @@
+"""Fixture: one of each shape ``python -m repro.analyze --fix`` repairs.
+
+Parsed (never executed) by ``tests/test_analyze_fix.py``: the test runs
+the fix loop over this source and asserts the rewritten module analyzes
+clean and that a second fix pass changes nothing.  The ``fixtures``
+directory is excluded from tree-wide analyzer runs, so the tree-wide
+``--fix --check`` CI gate does not see these.
+
+Shapes (one function each):
+
+- LNT003: discarded blocking-communication generator,
+- REQ103: assigned-but-undriven generator,
+- REQ101 (a): request created under an ``if`` arm, waited nowhere,
+- REQ101 (b): request waited on only one arm of an ``if``/``else``,
+- REQ101 (c): request waited under an ``if`` with no ``else`` at all,
+- LNT002: loop-invariant ``flatten()`` re-run every iteration,
+- LNT007: suppression comment that matches nothing.
+"""
+
+
+def discards_generator(comm, data):
+    """LNT003: the send silently never happens."""
+    comm.send(data, 1)
+    yield from comm.barrier()
+
+
+def undriven_assignment(comm):
+    """REQ103: ``g`` is never driven with ``yield from``."""
+    g = comm.recv(0)
+    yield from comm.barrier()
+
+
+def wait_missing_entirely(comm, data, flag):
+    """REQ101 (a): the request created under the ``if`` leaks."""
+    if flag:
+        req = yield from comm.isend(data, 1)
+        data = None
+    yield from comm.barrier()
+
+
+def wait_on_one_arm(comm, data, flag):
+    """REQ101 (b): the ``else`` arm skips the wait."""
+    req = yield from comm.isend(data, 1)
+    if flag:
+        yield from req.wait()
+    else:
+        yield from comm.barrier()
+
+
+def wait_without_else(comm, data, flag):
+    """REQ101 (c): falling through the ``if`` skips the wait."""
+    req = yield from comm.isend(data, 1)
+    if flag:
+        yield from req.wait()
+    yield from comm.barrier()
+
+
+def rescans_in_loop(chain, comm, peers):
+    """LNT002: ``flatten()`` is loop-invariant but re-run per peer."""
+    for peer in peers:
+        packed = chain.flatten()
+        yield from comm.send(packed, peer)
+
+
+def stale_suppression(comm, data):
+    """LNT007: nothing here ever triggered LNT003."""
+    yield from comm.send(data, 1)  # analyze: ignore[LNT003]

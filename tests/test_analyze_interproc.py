@@ -1,0 +1,394 @@
+"""Tests for the interprocedural layer: call graph, transitive
+summaries, cross-function/cross-file rule propagation, the LNT007
+unused-suppression lint, deterministic emitters, and the repro-plans/1
+static->runtime pre-seeding loop."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analyze.dataflow import (
+    Project,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    analyze_tree,
+    compute_summaries,
+    module_envs,
+    strongly_connected,
+)
+from repro.analyze.dataflow.driver import analyze_source_set
+from repro.analyze.emit import report_to_dicts, to_plans
+from repro.analyze.findings import Report
+from repro.analyze.suppress import collect_suppressions
+
+TESTS = Path(__file__).parent
+FIXTURES = TESTS / "fixtures"
+
+
+def rules_of(source):
+    report = analyze_source(textwrap.dedent(source))
+    return sorted(f.rule for f in report)
+
+
+def tree_rules_of(named_sources):
+    report, _ = analyze_source_set(
+        sorted((p, textwrap.dedent(s)) for p, s in named_sources.items()))
+    return sorted((f.location, f.rule) for f in report)
+
+
+# -- call graph ---------------------------------------------------------------
+
+def test_call_edges_and_import_resolution(tmp_path):
+    (tmp_path / "helpers.py").write_text(textwrap.dedent("""
+        def start(comm, data):
+            req = yield from comm.isend(data, 1)
+            return req
+    """))
+    (tmp_path / "main.py").write_text(textwrap.dedent("""
+        from helpers import start
+
+        def go(comm, data):
+            req = yield from start(comm, data)
+            yield from req.wait()
+    """))
+    sources = [(str(p), p.read_text())
+               for p in sorted(tmp_path.glob("*.py"))]
+    project = Project(sources)
+    edges = project.call_edges()
+    helper = (str(tmp_path / "helpers.py"), "start")
+    caller = (str(tmp_path / "main.py"), "go")
+    assert edges[caller] == [helper]
+    assert caller in project.function_refs()
+
+
+def test_scc_orders_callees_before_callers():
+    sources = [("m.py", textwrap.dedent("""
+        def a():
+            return b()
+
+        def b():
+            return c()
+
+        def c():
+            return 1
+    """))]
+    project = Project(sources)
+    sccs = strongly_connected(project.function_refs(),
+                              project.call_edges())
+    order = [name for scc in sccs for (_path, name) in scc]
+    assert order.index("c") < order.index("b") < order.index("a")
+
+
+def test_mutual_recursion_converges():
+    sources = [("m.py", textwrap.dedent("""
+        def ping(req, n):
+            if n == 0:
+                yield from req.wait()
+                return
+            yield from pong(req, n - 1)
+
+        def pong(req, n):
+            yield from ping(req, n)
+    """))]
+    project = Project(sources)
+    summaries = compute_summaries(project)
+    env = module_envs(project, summaries)["m.py"]
+    # both members of the cycle transitively wait their first parameter
+    assert 0 in env["ping"].waits_params
+    assert 0 in env["pong"].waits_params
+
+
+# -- cross-function rule propagation ------------------------------------------
+
+def test_request_handed_off_to_caller_is_clean():
+    assert rules_of("""
+        def start(comm, data):
+            req = yield from comm.isend(data, 1)
+            return req
+
+        def go(comm, data):
+            req = yield from start(comm, data)
+            yield from req.wait()
+    """) == []
+
+
+def test_caller_that_drops_handed_off_request_flags_req101():
+    assert rules_of("""
+        def start(comm, data):
+            req = yield from comm.isend(data, 1)
+            return req
+
+        def go(comm, data):
+            req = yield from start(comm, data)
+    """) == ["REQ101"]
+
+
+def test_two_level_transitive_wait_is_clean():
+    assert rules_of("""
+        def finish(req):
+            yield from req.wait()
+
+        def relay(req):
+            yield from finish(req)
+
+        def go(comm, data):
+            req = yield from comm.isend(data, 1)
+            yield from relay(req)
+    """) == []
+
+
+def test_keyword_only_wait_parameter_is_clean():
+    assert rules_of("""
+        def finish(*, request):
+            yield from request.wait()
+
+        def go(comm, data):
+            req = yield from comm.isend(data, 1)
+            yield from finish(request=req)
+    """) == []
+
+
+def test_rank_tainted_helper_return_flags_spmd101():
+    assert rules_of("""
+        def parity(comm):
+            return comm.rank % 2
+
+        def go(comm):
+            if parity(comm) == 0:
+                yield from comm.barrier()
+    """) == ["SPMD101"]
+
+
+def test_cross_file_summaries_resolve_through_imports(tmp_path):
+    (tmp_path / "helpers.py").write_text(textwrap.dedent("""
+        def start(comm, data):
+            req = yield from comm.isend(data, 1)
+            return req
+    """))
+    (tmp_path / "main.py").write_text(textwrap.dedent("""
+        from helpers import start
+
+        def go(comm, data):
+            req = yield from start(comm, data)
+            yield from req.wait()
+    """))
+    report, _plans = analyze_paths([str(tmp_path)])
+    assert sorted(f.rule for f in report) == []
+
+
+def test_cross_function_fixture_pinned():
+    report = analyze_file(FIXTURES / "cross_function.py")
+    assert sorted(f.rule for f in report) == ["REQ101", "SPMD101"]
+    by_rule = {f.rule: f for f in report}
+    assert "caller_drops_handed_off_request" in by_rule["REQ101"].message
+    assert "caller_of_rank_tainted_helper" in by_rule["SPMD101"].message
+
+
+# -- suppressions on decorated functions + LNT007 -----------------------------
+
+def test_suppression_above_decorator_covers_the_def():
+    # LNT004 anchors at the default expression on the ``def`` line; the
+    # comment above the decorator must still reach it (and count as
+    # used, so no LNT007 either)
+    assert tree_rules_of({"m.py": """
+        # shared sentinel on purpose  # analyze: ignore[LNT004]
+        @staticmethod
+        def f(x=[]):
+            return x
+    """}) == []
+
+
+def test_suppression_on_decorator_line_covers_the_def():
+    src = textwrap.dedent("""
+        @deco  # analyze: ignore[LNT001]
+        def f():
+            pass
+    """)
+    import ast as _ast
+
+    supp = collect_suppressions(src, _ast.parse(src))
+    def_line = 3  # the 'def f():' line
+    assert supp.is_suppressed("LNT001", def_line)
+
+
+def test_unused_suppression_flags_lnt007():
+    assert tree_rules_of({"m.py": """
+        def f(comm, data):
+            yield from comm.send(data, 1)  # analyze: ignore[LNT003]
+    """}) == [("m.py", "LNT007")]
+
+
+def test_used_suppression_is_not_lnt007():
+    assert tree_rules_of({"m.py": """
+        def f(comm):
+            if comm.rank == 0:
+                yield from comm.barrier()  # analyze: ignore[SPMD101]
+    """}) == []
+
+
+def test_runtime_code_suppressions_never_flag_lnt007():
+    # DLK/SIG/... passes did not run here: silence is not staleness
+    assert tree_rules_of({"m.py": """
+        def f(comm):
+            yield from comm.barrier()  # analyze: ignore[DLK001]
+    """}) == []
+
+
+def test_bare_ignore_never_flags_lnt007():
+    assert tree_rules_of({"m.py": """
+        def f(comm):
+            yield from comm.barrier()  # analyze: ignore
+    """}) == []
+
+
+def test_unknown_code_always_flags_lnt007():
+    findings = tree_rules_of({"m.py": """
+        def f(comm):
+            yield from comm.barrier()  # analyze: ignore[NOPE999]
+    """})
+    assert findings == [("m.py", "LNT007")]
+
+
+# -- deterministic emitters ---------------------------------------------------
+
+def test_report_dicts_are_sorted_and_deduped():
+    report = Report()
+    # inserted out of order, with an exact duplicate
+    report.add("SPMD101", "b", location="z.py", line=9, key=("k1",))
+    report.add("LNT001", "a", location="a.py", line=5, key=("k2",))
+    report.add("LNT001", "a", location="a.py", line=5, key=("k2",))
+    report.add("LNT001", "a", location="a.py", line=2, key=("k3",))
+    dicts = report_to_dicts(report)
+    assert [(d["path"], d["line"]) for d in dicts] == \
+        [("a.py", 2), ("a.py", 5), ("z.py", 9)]
+
+
+def test_to_plans_schema_and_determinism():
+    source = textwrap.dedent("""
+        def exchange(comm, n):
+            counts = [4096] + [1] * 7
+            recv = object()
+            send = object()
+            yield from comm.allgatherv(send, recv, counts)
+    """)
+    plans1, plans2 = [], []
+    analyze_source(source, "m.py", plans=plans1)
+    analyze_source(source, "m.py", plans=plans2)
+    doc1, doc2 = to_plans(plans1), to_plans(plans2)
+    assert doc1 == doc2
+    doc = json.loads(doc1)
+    assert doc["schema"] == "repro-plans/1"
+    (key, bucket), = doc["buckets"].items()
+    assert key.startswith("allgatherv|p8|")
+    assert key.endswith("|outlier")
+    assert bucket["algorithm"]  # adaptive prediction present
+    assert bucket["sites"] == 1
+
+
+def test_to_plans_disagreeing_sites_emit_null_algorithm():
+    plans = []
+    analyze_source(textwrap.dedent("""
+        def a(comm):
+            counts = [4096] + [1] * 7
+            yield from comm.allgatherv(object(), object(), counts)
+    """), "m.py", plans=plans)
+    # same bucket, forged disagreement
+    import copy
+
+    other = copy.deepcopy(plans[0])
+    other.decisions = {"adaptive": "ring"}
+    plans[0].decisions = {"adaptive": "recursive_doubling"}
+    other.line = plans[0].line + 10
+    doc = json.loads(to_plans(plans + [other]))
+    (bucket,) = doc["buckets"].values()
+    assert bucket["algorithm"] is None
+    assert bucket["sites"] == 2
+
+
+# -- repro-plans/1 pre-seeding the autotuner ----------------------------------
+
+PLANS_DOC = {
+    "schema": "repro-plans/1",
+    "plans": [],
+    "buckets": {
+        "allgatherv|p8|b15|outlier": {
+            "algorithm": "dissemination", "profile": "outlier", "sites": 1},
+        "allgatherv|p8|b6|uniform": {
+            "algorithm": None, "profile": "uniform", "sites": 2},
+    },
+}
+
+
+def test_preseed_seeds_untrained_buckets_only():
+    from repro.mpi.algorithms.tuning import TuningTable
+
+    table = TuningTable()
+    table.record("allgatherv|p8|b15|outlier", {"ring": 2e-6})
+    seeded = table.preseed(PLANS_DOC)
+    assert seeded == 0  # trained bucket wins; null-algorithm bucket skipped
+    fresh = TuningTable()
+    assert fresh.preseed(PLANS_DOC) == 1
+    assert fresh.lookup("allgatherv|p8|b15|outlier") == "dissemination"
+    assert fresh.source("allgatherv|p8|b15|outlier") == "static"
+    with pytest.raises(ValueError, match="repro-plans/1"):
+        fresh.preseed({"schema": "nope"})
+
+
+def test_measurement_upgrades_static_entry():
+    from repro.mpi.algorithms.tuning import TuningTable
+
+    table = TuningTable()
+    table.preseed(PLANS_DOC)
+    key = "allgatherv|p8|b15|outlier"
+    table.record(key, {"ring": 1e-6, "dissemination": 2e-6})
+    assert table.source(key) == "measured"
+    assert table.lookup(key) == "ring"
+
+
+def test_autotuned_policy_reports_static_reason():
+    from repro.mpi import MPIConfig
+    from repro.mpi.algorithms import (
+        AutotunedPolicy, SelectionContext, TuningTable, bucket_key,
+    )
+
+    config = MPIConfig.optimized().with_(selection_policy="autotuned")
+    table = TuningTable()
+    ctx = SelectionContext(collective="allgatherv", size=8,
+                           volumes=[4096] + [1] * 7)
+    doc = {"schema": "repro-plans/1", "plans": [], "buckets": {
+        bucket_key(ctx): {"algorithm": "ring", "profile": "outlier",
+                          "sites": 1}}}
+    table.preseed(doc)
+    pol = AutotunedPolicy(config, table=table)
+    decision = pol.decide(ctx)
+    assert decision.reason == "table:static"
+    assert decision.algorithm == "ring"
+    # the cache remembers the reason verbatim
+    assert pol.decide(ctx).reason == "table:static"
+
+
+def test_preseeded_autotune_skips_warmups():
+    """The static->runtime contract: pre-seeding with the tree's own
+    extracted plans reaches a table with strictly fewer warmup
+    simulations than a cold sweep."""
+    from repro.mpi.algorithms.autotune import (
+        AutotuneStats, autotune, count_warmup_runs,
+    )
+
+    plans = []
+    analyze_tree([str(TESTS.parent / "src"), str(TESTS.parent / "examples"),
+                  str(TESTS.parent / "tests")], Report(), plans)
+    doc = json.loads(to_plans(plans))
+    assert doc["buckets"], "tree should yield at least one static bucket"
+
+    stats = AutotuneStats()
+    table = autotune(quick=True, preseed=doc, stats=stats)
+    cold = count_warmup_runs(quick=True)
+    assert stats.preseeded_keys  # something was seeded
+    assert stats.scenarios_skipped >= 1
+    assert stats.warmup_runs < cold
+    # skipped scenarios keep their static entry; measured ones upgrade
+    assert any(table.source(k) == "static" for k in stats.preseeded_keys)
