@@ -54,6 +54,30 @@ def _parse(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="write a Chrome trace-event file "
                              "(requires --profile)")
+    parser.add_argument("--critpath-out", metavar="PATH", default=None,
+                        help="write the repro-critpath/1 causal "
+                             "critical-path report (requires --profile)")
+    parser.add_argument("--flame-out", metavar="PATH", default=None,
+                        help="write a collapsed-stack flamegraph "
+                             "(requires --profile)")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="compare against a committed repro-bench/1 "
+                             "baseline; exit 1 on any relative slowdown "
+                             "beyond --baseline-tolerance")
+    parser.add_argument("--baseline-tolerance", type=float, default=0.10,
+                        metavar="FRAC",
+                        help="per-measurement relative-slowdown tolerance "
+                             "for --baseline (default: %(default)s)")
+    parser.add_argument("--trajectory", metavar="PATH", default=None,
+                        help="append this run's figures to a "
+                             "BENCH_trajectory.json perf-trajectory file")
+    parser.add_argument("--trajectory-label", metavar="LABEL", default=None,
+                        help="label recorded with the --trajectory entry "
+                             "(e.g. a commit SHA)")
+    parser.add_argument("--degrade", type=float, default=None, metavar="SCALE",
+                        help="multiply every wire transfer's time by SCALE "
+                             "via the fault injector (regression-gate "
+                             "self-test aid)")
     parser.add_argument("--autotune", action="store_true",
                         help="train a tuning table in the simulator and "
                              "assert it ties-or-beats the fixed configs")
@@ -192,16 +216,42 @@ def main(argv: list[str]) -> int:
     if unknown:
         print(f"unknown figure(s): {unknown}; choose from {ALL}")
         return 2
-    if args.trace_out and not args.profile:
-        print("--trace-out requires --profile")
-        return 2
+    for flag, value in (("--trace-out", args.trace_out),
+                        ("--critpath-out", args.critpath_out),
+                        ("--flame-out", args.flame_out)):
+        if value and not args.profile:
+            print(f"{flag} requires --profile")
+            return 2
+
+    baseline_doc = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline_doc = json.load(fh)
+            if baseline_doc.get("schema") != "repro-bench/1":
+                raise ValueError(
+                    "not a repro-bench/1 document "
+                    f"(schema={baseline_doc.get('schema')!r})")
+        except (OSError, ValueError) as exc:
+            print(f"--baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
 
     if args.profile:
         from repro.prof import session
 
         session.enable()
+    if args.degrade is not None:
+        # every cluster the figure sweeps construct (many layers below
+        # here) picks this plan up as its default fault plan
+        from repro.faults import set_default_plan
+        from repro.faults.plan import FaultPlan
+
+        set_default_plan(FaultPlan().degrade(args.degrade))
+        print(f"fault injection: wire time x{args.degrade:g} on every "
+              "transfer (--degrade)")
 
     produced = []
+    regressions = []
     t0 = time.time()
     try:
         for name in wanted:
@@ -233,35 +283,73 @@ def main(argv: list[str]) -> int:
             if args.trace_out:
                 session.write_chrome_trace(args.trace_out)
                 print(f"chrome trace written to {args.trace_out}")
+            if args.critpath_out:
+                crit_doc = session.write_critpath(args.critpath_out)
+                print(f"critical-path report written to {args.critpath_out}")
+                flagged = sorted({
+                    r for run in crit_doc["runs"]
+                    for r in run["stragglers"]["ranks"]})
+                if flagged:
+                    print(f"  straggler rank(s) flagged: {flagged}")
+            if args.flame_out:
+                stacks = session.write_flamegraph(args.flame_out)
+                print(f"flamegraph ({len(stacks)} stacks) written to "
+                      f"{args.flame_out}")
 
+        doc = {
+            "schema": "repro-bench/1",
+            "quick": args.quick,
+            "figures": {
+                f.name: {
+                    "title": f.title,
+                    "columns": f.columns,
+                    "rows": f.rows,
+                    "notes": f.notes,
+                }
+                for f in produced
+            },
+        }
         if args.emit_json:
-            doc = {
-                "schema": "repro-bench/1",
-                "quick": args.quick,
-                "figures": {
-                    f.name: {
-                        "title": f.title,
-                        "columns": f.columns,
-                        "rows": f.rows,
-                        "notes": f.notes,
-                    }
-                    for f in produced
-                },
-            }
+            out = dict(doc)
             if profile_report is not None:
                 profile_report = dict(profile_report)
                 profile_report.pop("prometheus", None)  # bulky text form
-                doc["profile"] = profile_report
+                out["profile"] = profile_report
             with open(args.emit_json, "w") as fh:
-                json.dump(doc, fh, indent=1, default=str)
+                json.dump(out, fh, indent=1, default=str)
             print(f"JSON report written to {args.emit_json}")
+
+        if baseline_doc is not None:
+            from repro.bench.baseline import compare_to_baseline
+
+            regressions = compare_to_baseline(
+                doc, baseline_doc, rel_tol=args.baseline_tolerance)
+        if args.trajectory:
+            from repro.bench.baseline import append_trajectory
+
+            n = append_trajectory(args.trajectory, doc,
+                                  label=args.trajectory_label)
+            print(f"trajectory entry {n} appended to {args.trajectory}")
     finally:
+        if args.degrade is not None:
+            from repro.faults import set_default_plan
+
+            set_default_plan(None)
         if args.profile:
             from repro.prof import session
 
             session.disable()
 
     print(f"wall time: {time.time() - t0:.0f} s")
+    if regressions:
+        print(f"PERF REGRESSION vs {args.baseline} "
+              f"(tolerance {100 * args.baseline_tolerance:.0f}%):")
+        for problem in regressions:
+            print(f"  {problem}")
+        return 1
+    if baseline_doc is not None:
+        print(f"no perf regression vs {args.baseline} "
+              f"(tolerance {100 * args.baseline_tolerance:.0f}%)")
     return 0
 
 

@@ -131,12 +131,12 @@ class _SendRecord:
     __slots__ = (
         "src", "dst", "tag", "ctx", "data", "nbytes", "is_obj",
         "match_fut", "recv_rec", "sent_fut", "recv_fut", "arrived", "sig",
-        "seq", "crc", "transport_exc",
+        "seq", "crc", "transport_exc", "msg_id",
     )
 
     def __init__(self, engine: Engine, src: int, dst: int, tag: int,
                  ctx: Any, data: Any, nbytes: int, is_obj: bool,
-                 sig: Optional[int] = None):
+                 sig: Optional[int] = None, msg_id: Optional[int] = None):
         self.src = src
         self.dst = dst
         self.tag = tag
@@ -145,6 +145,9 @@ class _SendRecord:
         self.nbytes = nbytes
         self.is_obj = is_obj
         self.sig = sig  # flattened typemap signature tuple (None for obj sends)
+        #: cluster-unique causal id threaded through the wire events, the
+        #: Request, the trace records and the profiler spans of this message
+        self.msg_id = msg_id
         self.match_fut = engine.future(f"match {src}->{dst} tag={tag}")
         self.recv_rec: Optional[_RecvRecord] = None
         self.sent_fut = engine.future(f"sent {src}->{dst} tag={tag}")
@@ -231,8 +234,16 @@ class Cluster:
         #: reliable-transport sequence numbers and per-rank dedupe sets
         self._msg_seq = 0
         self._seen_seqs: List[set] = [set() for _ in range(nranks)]
+        #: causal message ids (one per logical p2p message, all protocols)
+        self._next_msg_id = 0
         #: the attached :class:`repro.faults.injector.FaultInjector` (or None)
         self.fault_injector: Optional[Any] = None
+        if fault_plan is None:
+            # a process-global plan (repro.faults.set_default_plan, used by
+            # `repro.bench --degrade` for the regression-gate self-test)
+            # applies to every cluster not given an explicit plan
+            from repro.faults.injector import get_default_plan
+            fault_plan = get_default_plan()
         if fault_plan is not None:
             # imported lazily: repro.faults depends on repro.mpi.errors only,
             # but keeping the import out of module scope avoids any cycle
@@ -247,6 +258,11 @@ class Cluster:
 
     def _on_transfer(self, event: Any) -> None:
         self._notify("transfer", event)
+
+    def _new_msg_id(self) -> int:
+        """The next causal message id (cluster-unique, starts at 1)."""
+        self._next_msg_id += 1
+        return self._next_msg_id
 
     # -- instrumentation -----------------------------------------------------
 
@@ -737,9 +753,11 @@ class Comm:
         tb = as_typed(buffer, datatype, count, offset_bytes)
         nbytes = tb.nbytes
         prof = self.cluster.profiler
+        msg_id = self.cluster._new_msg_id()
 
         with prof.span("p2p", "isend", self.grank,
-                       dest=self._to_global(dest), tag=tag, nbytes=nbytes):
+                       dest=self._to_global(dest), tag=tag, nbytes=nbytes,
+                       msg_id=msg_id):
             if prof.enabled:
                 prof.count("repro_send_messages_total")
                 prof.count("repro_send_bytes_total", nbytes)
@@ -765,14 +783,15 @@ class Comm:
             data = tb.pack()
             rec = _SendRecord(self.engine, self.grank, self._to_global(dest),
                               tag, self.ctx, data, nbytes, is_obj=False,
-                              sig=tb.signature())
+                              sig=tb.signature(), msg_id=msg_id)
             self.cluster._post_send(rec)
             self.engine.spawn(self._deliver(rec), f"deliver {self.rank}->{dest}")
             if nbytes <= self.config.eager_threshold and not rec.sent_fut.done:
                 # eager: the payload is buffered; the send is already
                 # complete (unless _post_send already failed it fail-fast)
                 rec.sent_fut.set_result(None)
-            req = Request(rec.sent_fut, "send", profiler=prof, rank=self.grank)
+            req = Request(rec.sent_fut, "send", profiler=prof, rank=self.grank,
+                          msg_id=msg_id)
             self.cluster._notify("request", self.grank, req)
             return req
 
@@ -884,7 +903,8 @@ class Comm:
             raise MPIError(f"invalid destination rank {dest}")
         self._check_revoked()
         rec = _SendRecord(self.engine, self.grank, self._to_global(dest), tag,
-                          self.ctx, value, nbytes, is_obj=True)
+                          self.ctx, value, nbytes, is_obj=True,
+                          msg_id=self.cluster._new_msg_id())
         self.cluster._post_send(rec)
         self.engine.spawn(self._deliver(rec), f"deliver-obj {self.rank}->{dest}")
         if not rec.sent_fut.done:
@@ -943,13 +963,15 @@ class Comm:
         sig_meta = None if rec.sig is None else sig_crc(rec.sig)
         if rec.nbytes <= cost.pipeline_chunk or rec.is_obj:
             yield from self.net.transfer(rec.src, rec.dst, rec.nbytes,
-                                         tag=rec.tag, sig=sig_meta)
+                                         tag=rec.tag, sig=sig_meta,
+                                         msg_id=rec.msg_id)
         else:
             pos = 0
             while pos < rec.nbytes:
                 chunk = min(cost.pipeline_chunk, rec.nbytes - pos)
                 yield from self.net.transfer(rec.src, rec.dst, chunk,
-                                             tag=rec.tag, sig=sig_meta)
+                                             tag=rec.tag, sig=sig_meta,
+                                             msg_id=rec.msg_id)
                 pos += chunk
         self.cluster.ledgers[rec.src].charge("comm", self.engine.now - start)
         rec.arrived = True
@@ -991,7 +1013,8 @@ class Comm:
             if prof.enabled:
                 prof.count("repro_unpack_bytes_total", rec.nbytes)
             with prof.span("cpu", "unpack", rec.dst, lane="io",
-                           src=rec.src, nbytes=rec.nbytes):
+                           src=rec.src, nbytes=rec.nbytes,
+                           msg_id=rec.msg_id):
                 yield Delay(scaled)
 
         # functional delivery
@@ -1073,7 +1096,8 @@ class Comm:
                 # copy's ack was lost, is delivered exactly once)
                 cluster._seen_seqs[rec.dst].add(rec.seq)
                 ack = yield from self.net.transfer(rec.dst, rec.src, 0,
-                                                   tag=rec.tag)
+                                                   tag=rec.tag,
+                                                   msg_id=rec.msg_id)
                 if not (ack.dropped or ack.corrupted):
                     acked = True
                     break
@@ -1100,14 +1124,16 @@ class Comm:
         merged = WireOutcome()
         if rec.nbytes <= cost.pipeline_chunk or rec.is_obj:
             out = yield from self.net.transfer(rec.src, rec.dst, rec.nbytes,
-                                               tag=rec.tag, sig=sig_meta)
+                                               tag=rec.tag, sig=sig_meta,
+                                               msg_id=rec.msg_id)
             merged.absorb(out)
         else:
             pos = 0
             while pos < rec.nbytes:
                 chunk = min(cost.pipeline_chunk, rec.nbytes - pos)
                 out = yield from self.net.transfer(rec.src, rec.dst, chunk,
-                                                   tag=rec.tag, sig=sig_meta)
+                                                   tag=rec.tag, sig=sig_meta,
+                                                   msg_id=rec.msg_id)
                 merged.absorb(out)
                 pos += chunk
         return merged

@@ -37,16 +37,21 @@ class Request:
     :class:`repro.analyze.runtime.RuntimeVerifier` is attached.
     """
 
-    __slots__ = ("_future", "kind", "_waited", "_profiler", "_rank", "__weakref__")
+    __slots__ = ("_future", "kind", "_waited", "_profiler", "_rank",
+                 "msg_id", "__weakref__")
 
     def __init__(self, future: SimFuture, kind: str,
-                 profiler: Any = None, rank: int = -1):
+                 profiler: Any = None, rank: int = -1,
+                 msg_id: int = None):
         self._future = future
         self.kind = kind
         self._waited = False
         #: optional repro.prof profiler (NULL_PROFILER or None when unprofiled)
         self._profiler = profiler
         self._rank = rank
+        #: causal message id of the send this request completes (None for
+        #: receives, whose message identity is only known at match time)
+        self.msg_id = msg_id
 
     @property
     def done(self) -> bool:
@@ -62,7 +67,8 @@ class Request:
         prof = self._profiler
         if prof is not None and prof.enabled and not self._future.done:
             t0 = self._future.engine.now
-            with prof.span("wait", "wait_" + self.kind, self._rank):
+            attrs = {} if self.msg_id is None else {"msg_id": self.msg_id}
+            with prof.span("wait", "wait_" + self.kind, self._rank, **attrs):
                 result = yield self._future
             prof.observe("repro_request_wait_seconds",
                          self._future.engine.now - t0)

@@ -38,6 +38,9 @@ class TraceRecord:
     #: crc32 of the run-length-encoded primitive typemap of the send buffer
     #: (``None`` for control-plane object messages and raw transfers)
     sig: Optional[int] = None
+    #: causal message id assigned by the p2p layer; all wire chunks of one
+    #: logical message share it (``None`` for raw transfers, e.g. RMA)
+    msg_id: Optional[int] = None
 
 
 class MessageTrace:
@@ -67,7 +70,7 @@ class MessageTrace:
         """Observer hook: record one completed wire transfer."""
         self.records.append(
             TraceRecord(event.t_start, event.t_end, event.src, event.dst,
-                        event.tag, event.nbytes, event.sig)
+                        event.tag, event.nbytes, event.sig, event.msg_id)
         )
 
     # -- queries -------------------------------------------------------------
@@ -100,6 +103,20 @@ class MessageTrace:
         out = np.zeros(self.nranks, dtype=np.int64)
         for r in self.records:
             out[r.src] += r.nbytes
+        return out
+
+    def by_message(self) -> dict:
+        """Wire chunks grouped by causal message id.
+
+        One logical p2p message may cross the wire as several pipeline
+        chunks (and, under the reliable transport, retransmissions and the
+        ack); all carry the same ``msg_id``.  Records without an id (raw
+        transfers issued below the p2p layer) are excluded.
+        """
+        out: dict = {}
+        for r in self.records:
+            if r.msg_id is not None:
+                out.setdefault(r.msg_id, []).append(r)
         return out
 
     def signature_counts(self) -> dict:

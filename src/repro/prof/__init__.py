@@ -51,6 +51,16 @@ from repro.prof.export import (  # noqa: F401
     validate_breakdown,
     write_chrome_trace,
 )
+from repro.prof.critical import (  # noqa: F401
+    CriticalPath,
+    critical_path,
+)
+from repro.prof.critical import write_report as write_critpath_report  # noqa: F401
+from repro.prof.flame import (  # noqa: F401
+    collapsed_stacks,
+    critical_stacks,
+    write_flamegraph,
+)
 
 
 class _NullSpan:
@@ -198,6 +208,7 @@ class Profiler:
 __all__ = [
     "CATALOGUE",
     "Counter",
+    "CriticalPath",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -210,8 +221,13 @@ __all__ = [
     "aggregate_breakdown",
     "breakdown",
     "chrome_trace",
+    "collapsed_stacks",
+    "critical_path",
+    "critical_stacks",
     "render_breakdown",
     "snapshot_delta",
     "validate_breakdown",
     "write_chrome_trace",
+    "write_critpath_report",
+    "write_flamegraph",
 ]

@@ -256,14 +256,85 @@ def chrome_trace(profilers, time_scale: float = 1e6) -> Dict[str, Any]:
                 "args": _json_safe(span.attrs),
             })
         for ev in getattr(prof, "transfers", []):
+            args = {"nbytes": ev.nbytes, "tag": ev.tag}
+            if getattr(ev, "msg_id", None) is not None:
+                args["msg_id"] = ev.msg_id
             events.append({
                 "ph": "X", "name": f"xfer {ev.src}->{ev.dst}", "cat": "wire",
                 "pid": pid, "tid": tids[("wire", ev.src)],
                 "ts": ev.t_start * time_scale,
                 "dur": (ev.t_end - ev.t_start) * time_scale,
-                "args": {"nbytes": ev.nbytes, "tag": ev.tag},
+                "args": args,
             })
+        events.extend(_flow_events(prof, pid, tids, time_scale))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _flow_events(prof, pid: int, tids: Dict[Any, int],
+                 time_scale: float) -> List[Dict[str, Any]]:
+    """Flow events (``ph: "s"``/``"t"``/``"f"``) tying each message's send
+    span to its wire transfers and receive-side landing.
+
+    Every p2p message carries a causal ``msg_id`` (threaded through
+    ``mpi/comm.py`` / ``simtime/network.py``), so Perfetto can draw the
+    arrow from the ``isend`` span through the wire chunk(s) to the
+    receiver's unpack (or, for contiguous payloads, the arrival point on
+    the receiver's main track).
+    """
+    tracer = prof.tracer
+    send_spans: Dict[int, Span] = {}
+    unpack_spans: Dict[int, Span] = {}
+    for span in tracer.spans:
+        if span.open:
+            continue
+        mid = span.attrs.get("msg_id")
+        if mid is None:
+            continue
+        if span.category == "p2p":
+            send_spans.setdefault(mid, span)
+        elif span.category == "cpu" and span.name == "unpack":
+            unpack_spans.setdefault(mid, span)
+    chunks: Dict[int, List[Any]] = {}
+    for ev in getattr(prof, "transfers", []):
+        mid = getattr(ev, "msg_id", None)
+        if mid is not None and ev.src != ev.dst:
+            chunks.setdefault(mid, []).append(ev)
+
+    events: List[Dict[str, Any]] = []
+    for mid in sorted(chunks):
+        evs = sorted(chunks[mid], key=lambda e: e.t_start)
+        # under the reliable transport the zero-byte ack rides the same
+        # msg_id in the reverse direction; the payload direction is the
+        # first chunk's
+        src, dst = evs[0].src, evs[0].dst
+        evs = [e for e in evs if e.src == src and e.dst == dst]
+        fid = f"msg{mid}"
+        send = send_spans.get(mid)
+        if send is not None:
+            start_tid, start_ts = tids.get(send.track, 0), send.t_start
+        else:
+            start_tid = tids.get(("wire", src), 0)
+            start_ts = evs[0].t_start
+        events.append({
+            "ph": "s", "id": fid, "name": "msg", "cat": "flow",
+            "pid": pid, "tid": start_tid, "ts": start_ts * time_scale,
+        })
+        events.append({
+            "ph": "t", "id": fid, "name": "msg", "cat": "flow",
+            "pid": pid, "tid": tids.get(("wire", src), 0),
+            "ts": evs[0].t_start * time_scale,
+        })
+        unpack = unpack_spans.get(mid)
+        if unpack is not None:
+            end_tid, end_ts = tids.get(unpack.track, 0), unpack.t_start
+        else:
+            end_tid = tids.get((dst, "main"), 0)
+            end_ts = evs[-1].t_end
+        events.append({
+            "ph": "f", "bp": "e", "id": fid, "name": "msg", "cat": "flow",
+            "pid": pid, "tid": end_tid, "ts": end_ts * time_scale,
+        })
+    return events
 
 
 def write_chrome_trace(path: str, profilers) -> Dict[str, Any]:

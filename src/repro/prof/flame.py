@@ -1,0 +1,111 @@
+"""Collapsed-stack flamegraph export (``prof.flame``).
+
+Folds the tracer's span trees into the collapsed-stack text format that
+``flamegraph.pl`` / speedscope / Perfetto's "import folded" all consume:
+one line per unique stack, ``frame;frame;frame weight``, weights in
+integer microseconds of *self* simulated time (a span's duration minus the
+time covered by its children on the same track).
+
+Two flavours:
+
+- :func:`collapsed_stacks` -- the whole run: every track's span tree,
+  rooted at ``rank N`` (or ``rank N [lane]``) frames, so the flamegraph
+  shows where each rank's simulated time went (``allgatherv → phase →
+  pack``, ...),
+- :func:`critical_stacks` -- only the critical path
+  (:mod:`repro.prof.critical`): frames are ``rank → op → category``,
+  weighted by time on the path, so the widest frame is literally the
+  answer to "what should I optimise first?".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: weights are integer microseconds (the collapsed format wants integers)
+TIME_SCALE = 1e6
+
+
+def _track_label(track) -> str:
+    rank, lane = track
+    return f"rank {rank}" if lane == "main" else f"rank {rank} [{lane}]"
+
+
+def collapsed_stacks(profilers, time_scale: float = TIME_SCALE) -> Dict[str, int]:
+    """``{collapsed stack: weight}`` over every closed span of every profiler.
+
+    Each span contributes its *self* time (duration minus the union of its
+    children's durations; children never overlap each other because spans
+    on one track nest).  Zero-weight stacks are dropped.  Deterministic:
+    insertion follows recording order, weights are exact integer rounding.
+    """
+    if not isinstance(profilers, (list, tuple)):
+        profilers = [profilers]
+    stacks: Dict[str, int] = {}
+    for prof in profilers:
+        tracer = prof.tracer
+        spans = [s for s in tracer.spans if not s.open]
+        by_id = {s.id: s for s in spans}
+        child_time: Dict[int, float] = {}
+        for s in spans:
+            if s.parent is not None and s.parent in by_id:
+                child_time[s.parent] = child_time.get(s.parent, 0.0) + s.duration
+
+        def stack_of(span) -> str:
+            frames: List[str] = []
+            node = span
+            while node is not None:
+                frames.append(node.name)
+                node = by_id.get(node.parent) if node.parent is not None else None
+            frames.append(_track_label(span.track))
+            return ";".join(reversed(frames))
+
+        for s in spans:
+            self_us = round((s.duration - child_time.get(s.id, 0.0)) * time_scale)
+            if self_us <= 0:
+                continue
+            key = stack_of(s)
+            stacks[key] = stacks.get(key, 0) + self_us
+    return stacks
+
+
+def critical_stacks(crit, time_scale: float = TIME_SCALE) -> Dict[str, int]:
+    """Collapsed stacks of a :class:`repro.prof.critical.CriticalPath`:
+    ``rank N;op;category`` weighted by time on the path."""
+    stacks: Dict[str, int] = {}
+    for seg in crit.segments:
+        us = round(seg.duration * time_scale)
+        if us <= 0:
+            continue
+        key = f"rank {seg.rank};{seg.op};{seg.category}"
+        stacks[key] = stacks.get(key, 0) + us
+    return stacks
+
+
+def render_collapsed(stacks: Dict[str, int]) -> str:
+    """The collapsed-stack text: one ``stack weight`` line, sorted."""
+    return "\n".join(f"{stack} {weight}"
+                     for stack, weight in sorted(stacks.items()))
+
+
+def write_flamegraph(path: str, profilers,
+                     time_scale: float = TIME_SCALE) -> Dict[str, int]:
+    """Write :func:`collapsed_stacks` of ``profilers`` to ``path``.
+
+    Feed the output to ``flamegraph.pl`` or paste into speedscope;
+    returns the stack dict.
+    """
+    stacks = collapsed_stacks(profilers, time_scale=time_scale)
+    text = render_collapsed(stacks)
+    with open(path, "w") as fh:
+        fh.write(text + ("\n" if text else ""))
+    return stacks
+
+
+__all__ = [
+    "TIME_SCALE",
+    "collapsed_stacks",
+    "critical_stacks",
+    "render_collapsed",
+    "write_flamegraph",
+]

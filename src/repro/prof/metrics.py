@@ -87,11 +87,19 @@ def _label_key(labels: Optional[Mapping[str, Any]]) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote and newline must be ``\\\\``, ``\\"``, ``\\n``."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def _render_labels(key: _LabelKey, extra: Optional[List[Tuple[str, str]]] = None) -> str:
     pairs = list(key) + list(extra or [])
     if not pairs:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + inner + "}"
 
 

@@ -128,3 +128,18 @@ def report() -> Dict[str, Any]:
 def write_chrome_trace(path: str) -> Dict[str, Any]:
     """One Chrome trace for every cluster profiled in the session."""
     return export.write_chrome_trace(path, _SESSION.profilers)
+
+
+def write_critpath(path: str, **kwargs) -> Dict[str, Any]:
+    """The ``repro-critpath/1`` document over every profiled cluster
+    (one critical-path run entry per cluster; see prof.critical)."""
+    from repro.prof import critical
+
+    return critical.write_report(path, _SESSION.profilers, **kwargs)
+
+
+def write_flamegraph(path: str) -> Dict[str, int]:
+    """Collapsed-stack flamegraph over every profiled cluster."""
+    from repro.prof import flame
+
+    return flame.write_flamegraph(path, _SESSION.profilers)

@@ -95,6 +95,11 @@ class TransferEvent:
     sig: Optional[int]
     t_start: float
     t_end: float
+    #: cluster-unique causal message id (:attr:`_SendRecord.msg_id`); every
+    #: wire chunk of one logical message carries the same id, tying the
+    #: send call, its transfers and the receive together (None for raw
+    #: transfers issued outside the p2p layer, e.g. RMA)
+    msg_id: Optional[int] = None
 
 
 class NetworkModel:
@@ -177,7 +182,8 @@ class NetworkModel:
 
     def transfer(self, src: int, dst: int, nbytes: int,
                  latency: Optional[float] = None,
-                 tag: int = -1, sig: Optional[int] = None) -> Generator:
+                 tag: int = -1, sig: Optional[int] = None,
+                 msg_id: Optional[int] = None) -> Generator:
         """Yieldable: move ``nbytes`` from ``src`` to ``dst``.
 
         Holds the sender's send port and the receiver's receive port for the
@@ -188,9 +194,10 @@ class NetworkModel:
         ``latency`` overrides the per-message alpha (e.g. the cheaper
         initiation cost of a raw RDMA operation).
 
-        ``tag`` and ``sig`` (the message tag and the flattened datatype
-        signature hash) are pure metadata: the wire ignores them, but
-        transfer listeners such as :class:`repro.mpi.trace.MessageTrace`
+        ``tag``, ``sig`` and ``msg_id`` (the message tag, the flattened
+        datatype signature hash and the causal message id assigned by the
+        p2p layer) are pure metadata: the wire ignores them, but transfer
+        listeners such as :class:`repro.mpi.trace.MessageTrace`
         (subscribed through the cluster observer API) record them.
 
         Returns a :class:`WireOutcome`.  When a fault injector is attached
@@ -213,7 +220,7 @@ class NetworkModel:
                                   scale=fault.scale)
         if self._transfer_listeners:
             event = TransferEvent(src, dst, nbytes, tag, sig,
-                                  t_start, self.engine.now)
+                                  t_start, self.engine.now, msg_id)
             for fn in self._transfer_listeners:
                 fn(event)
         return outcome

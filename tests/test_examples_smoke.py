@@ -31,6 +31,7 @@ def run_example(name: str, argv=()):
         "nonuniform_collectives.py",
         "trace_communication.py",
         "profile_breakdown.py",
+        "critical_path.py",
         "checkpoint_io.py",
         "bratu_nonlinear.py",
     ],

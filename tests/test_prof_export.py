@@ -187,3 +187,134 @@ def test_json_safe_attrs():
 
 def test_pack_names_cover_the_ledger_categories():
     assert PACK_NAMES == {"pack", "search", "lookahead", "unpack"}
+
+
+# -- flow events (send -> wire -> unpack arrows) -----------------------------
+
+def messaging_profiler():
+    """rank 0 isends (msg_id 7) at [0, 1]; wire [1, 5]; rank 1 unpacks
+    [5, 6] -- the full causal chain of one typed message."""
+    clock = FakeEngine()
+    tracer = Tracer(clock)
+    with tracer.span("p2p", "isend", 0, msg_id=7):
+        clock.now = 1.0
+    clock.now = 5.0
+    with tracer.span("cpu", "unpack", 1, lane="io", msg_id=7):
+        clock.now = 6.0
+    transfer = SimpleNamespace(src=0, dst=1, t_start=1.0, t_end=5.0,
+                               nbytes=640, tag=0, msg_id=7)
+    return SimpleNamespace(tracer=tracer, transfers=[transfer], label=None)
+
+
+def test_flow_events_tie_send_wire_and_unpack():
+    prof = messaging_profiler()
+    events = chrome_trace(prof)["traceEvents"]
+    flows = [e for e in events if e.get("cat") == "flow"]
+    assert [e["ph"] for e in flows] == ["s", "t", "f"]
+    assert {e["id"] for e in flows} == {"msg7"}
+    start, step, finish = flows
+    meta = {e["args"]["name"]: e["tid"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert start["tid"] == meta["rank 0"]           # the isend span's track
+    assert start["ts"] == pytest.approx(0.0)
+    assert step["tid"] == meta["wire from rank 0"]
+    assert step["ts"] == pytest.approx(1.0 * 1e6)
+    assert finish["tid"] == meta["rank 1 [io]"]     # the unpack span's track
+    assert finish["ts"] == pytest.approx(5.0 * 1e6)
+    assert finish["bp"] == "e"
+    # the transfer slice itself carries the causal id too
+    wire = next(e for e in events if e.get("cat") == "wire" and e["ph"] == "X")
+    assert wire["args"]["msg_id"] == 7
+
+
+def test_flow_events_skip_unidentified_and_self_transfers():
+    clock = FakeEngine()
+    tracer = Tracer(clock)
+    with tracer.span("cpu", "compute", 0):
+        clock.now = 1.0
+    prof = SimpleNamespace(tracer=tracer, transfers=[
+        xfer(0, 1, 0.0, 1.0),                       # no msg_id: raw RMA
+        SimpleNamespace(src=2, dst=2, t_start=0.0, t_end=1.0,
+                        nbytes=8, tag=0, msg_id=9),  # self-transfer
+    ])
+    events = chrome_trace(prof)["traceEvents"]
+    assert [e for e in events if e.get("cat") == "flow"] == []
+
+
+def test_flow_events_ignore_reverse_direction_ack():
+    """Under the reliable transport the zero-byte ack shares the payload's
+    msg_id in the reverse direction; the arrow must follow the payload."""
+    prof = messaging_profiler()
+    prof.transfers.append(SimpleNamespace(
+        src=1, dst=0, t_start=6.0, t_end=6.5, nbytes=0, tag=0, msg_id=7))
+    flows = [e for e in chrome_trace(prof)["traceEvents"]
+             if e.get("cat") == "flow"]
+    assert [e["ph"] for e in flows] == ["s", "t", "f"]
+    finish = flows[-1]
+    assert finish["ts"] == pytest.approx(5.0 * 1e6)  # unpack, not the ack
+
+
+# -- degenerate runs through every exporter ----------------------------------
+
+def empty_profiler():
+    return SimpleNamespace(tracer=Tracer(FakeEngine()), transfers=[],
+                           label=None)
+
+
+def test_exporters_on_empty_profiler(tmp_path):
+    prof = empty_profiler()
+    assert breakdown(prof, "collective") == []
+    assert validate_breakdown([])
+    assert aggregate_breakdown([]) == []
+    assert wait_for_peers_report([]) == {}
+    obj = chrome_trace(prof)
+    assert [e for e in obj["traceEvents"] if e["ph"] != "M"] == []
+    path = tmp_path / "empty.json"
+    write_chrome_trace(str(path), prof)
+    assert json.loads(path.read_text())["traceEvents"] is not None
+
+
+def test_chrome_trace_empty_profiler_list():
+    obj = chrome_trace([])
+    assert obj["traceEvents"] == []
+    json.dumps(obj)
+
+
+def test_zero_span_rank_still_gets_a_thread():
+    """A rank that only appears as a transfer endpoint (no spans at all)
+    must not crash the exporters."""
+    clock = FakeEngine()
+    tracer = Tracer(clock)
+    coll = tracer.span("collective", "allgatherv", 0)
+    coll.__enter__()
+    clock.now = 4.0
+    coll.__exit__(None, None, None)
+    prof = SimpleNamespace(tracer=tracer,
+                           transfers=[xfer(1, 0, 1.0, 2.0)], label=None)
+    rows = breakdown(prof, "collective")
+    assert len(rows) == 1
+    assert rows[0]["wire"] == pytest.approx(1.0)
+    events = chrome_trace(prof)["traceEvents"]
+    wire = next(e for e in events if e.get("cat") == "wire")
+    names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert "wire from rank 1" in names
+    assert wire["dur"] == pytest.approx(1.0 * 1e6)
+
+
+def test_single_event_trace():
+    """The minimal non-empty profile: exactly one instantaneous-ish span."""
+    clock = FakeEngine()
+    tracer = Tracer(clock)
+    coll = tracer.span("collective", "barrier", 0)
+    coll.__enter__()
+    clock.now = 1e-9
+    coll.__exit__(None, None, None)
+    prof = SimpleNamespace(tracer=tracer, transfers=[], label=None)
+    rows = breakdown(prof, "collective")
+    assert len(rows) == 1
+    assert rows[0]["elapsed"] == pytest.approx(1e-9)
+    assert rows[0]["wait"] == pytest.approx(1e-9)
+    assert validate_breakdown(rows)
+    slices = [e for e in chrome_trace(prof)["traceEvents"] if e["ph"] == "X"]
+    assert len(slices) == 1
+    assert slices[0]["name"] == "barrier"

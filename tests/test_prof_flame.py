@@ -1,0 +1,112 @@
+"""Tests for the collapsed-stack flamegraph export (``repro.prof.flame``)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.prof.critical import CriticalPath, Segment
+from repro.prof.flame import (
+    collapsed_stacks,
+    critical_stacks,
+    render_collapsed,
+    write_flamegraph,
+)
+from repro.prof.spans import Tracer
+
+
+def scripted_profiler():
+    """rank 0: collective [0, 10] containing pack [0, 2] and compute [2, 3];
+    rank 1 [io] lane: unpack [4, 6]."""
+    clock = SimpleNamespace(now=0.0)
+    tracer = Tracer(clock)
+    coll = tracer.span("collective", "allgatherv", 0)
+    sp = coll.__enter__()
+    with tracer.span("cpu", "pack", 0):
+        clock.now = 2.0
+    with tracer.span("cpu", "compute", 0):
+        clock.now = 3.0
+    clock.now = 10.0
+    coll.__exit__(None, None, None)
+    clock.now = 4.0
+    with tracer.span("cpu", "unpack", 1, lane="io"):
+        clock.now = 6.0
+    return SimpleNamespace(tracer=tracer, transfers=[], label=None), sp
+
+
+def test_self_time_and_stack_paths():
+    prof, _ = scripted_profiler()
+    stacks = collapsed_stacks(prof)
+    # collective self time: 10 - (2 + 1) children = 7s
+    assert stacks["rank 0;allgatherv"] == 7_000_000
+    assert stacks["rank 0;allgatherv;pack"] == 2_000_000
+    assert stacks["rank 0;allgatherv;compute"] == 1_000_000
+    assert stacks["rank 1 [io];unpack"] == 2_000_000
+    # weights cover the total busy time exactly (integer microseconds)
+    assert sum(stacks.values()) == 12_000_000
+
+
+def test_zero_self_time_dropped_and_open_spans_ignored():
+    clock = SimpleNamespace(now=0.0)
+    tracer = Tracer(clock)
+    outer = tracer.span("collective", "bcast", 0)
+    outer.__enter__()
+    with tracer.span("cpu", "compute", 0):
+        clock.now = 5.0
+    outer.__exit__(None, None, None)     # self time exactly 0
+    tracer.span("cpu", "pack", 2).__enter__()        # never closed
+    prof = SimpleNamespace(tracer=tracer, transfers=[])
+    stacks = collapsed_stacks(prof)
+    assert stacks == {"rank 0;bcast;compute": 5_000_000}
+
+
+def test_empty_profiler_and_empty_list():
+    prof = SimpleNamespace(tracer=Tracer(SimpleNamespace(now=0.0)),
+                           transfers=[])
+    assert collapsed_stacks(prof) == {}
+    assert collapsed_stacks([]) == {}
+    assert render_collapsed({}) == ""
+
+
+def test_multiple_profilers_merge():
+    p1, _ = scripted_profiler()
+    p2, _ = scripted_profiler()
+    stacks = collapsed_stacks([p1, p2])
+    assert stacks["rank 0;allgatherv;pack"] == 4_000_000   # both runs
+
+
+def test_critical_stacks():
+    crit = CriticalPath(10.0, 2, [
+        Segment(0, 0.0, 4.0, "compute", "compute", "allgatherv"),
+        Segment(0, 4.0, 7.0, "wire", "xfer 0->1", "allgatherv", msg_id=1),
+        Segment(1, 7.0, 10.0, "pack", "unpack", "allgatherv"),
+    ])
+    stacks = critical_stacks(crit)
+    assert stacks == {
+        "rank 0;allgatherv;compute": 4_000_000,
+        "rank 0;allgatherv;wire": 3_000_000,
+        "rank 1;allgatherv;pack": 3_000_000,
+    }
+    assert sum(stacks.values()) == pytest.approx(crit.makespan * 1e6)
+
+
+def test_render_and_write(tmp_path):
+    prof, _ = scripted_profiler()
+    path = tmp_path / "flame.txt"
+    stacks = write_flamegraph(str(path), prof)
+    text = path.read_text()
+    assert text.endswith("\n")
+    lines = text.strip().split("\n")
+    assert len(lines) == len(stacks)
+    # every line is "frames... weight" with an integer weight
+    for line in lines:
+        stack, weight = line.rsplit(" ", 1)
+        assert stacks[stack] == int(weight)
+    assert text == render_collapsed(stacks) + "\n"
+
+
+def test_write_empty_flamegraph(tmp_path):
+    prof = SimpleNamespace(tracer=Tracer(SimpleNamespace(now=0.0)),
+                           transfers=[])
+    path = tmp_path / "flame.txt"
+    assert write_flamegraph(str(path), prof) == {}
+    assert path.read_text() == ""

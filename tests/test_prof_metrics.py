@@ -124,6 +124,24 @@ def test_render_prometheus_exposition():
     assert text.endswith("\n")
 
 
+def test_render_prometheus_escapes_label_values():
+    # the text exposition format requires \ -> \\, " -> \", newline -> \n
+    reg = MetricsRegistry(strict=False)
+    reg.counter("repro_adhoc_total").inc(
+        labels={"op": 'say "hi"', "path": "a\\b", "note": "two\nlines"})
+    text = reg.render_prometheus()
+    assert 'op="say \\"hi\\""' in text
+    assert 'path="a\\\\b"' in text
+    assert 'note="two\\nlines"' in text
+    # every sample line stays a single physical line
+    for line in text.splitlines():
+        assert "\r" not in line
+    from repro.prof.metrics import _escape_label_value
+
+    assert _escape_label_value('\\"\n') == '\\\\\\"\\n'
+    assert _escape_label_value("plain") == "plain"
+
+
 def test_snapshot_delta_numeric_and_dict():
     before = {
         "repro_send_messages_total": 2,
