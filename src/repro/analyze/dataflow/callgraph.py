@@ -6,15 +6,20 @@ call* -- including across modules via ``from pkg.mod import helper``
 imports.  This module builds that graph:
 
 1. :class:`Project` parses every analyzed source file once and indexes
-   its top-level functions and its ``from ... import name`` bindings
-   (absolute imports resolve by dotted-suffix match against the analyzed
-   file set, relative imports resolve against the importing module's
-   package path);
+   its top-level functions, its top-level *class methods* (as
+   ``"Class.method"`` refs), its ``from ... import name`` bindings and
+   its module aliases (``import pkg.mod as m`` / ``from pkg import
+   mod``); absolute imports resolve by dotted-suffix match against the
+   analyzed file set, relative imports resolve against the importing
+   module's package path;
 2. :meth:`Project.call_edges` extracts the call graph: one edge per
-   plain-``Name`` call (``helper(...)`` / ``yield from helper(...)``)
-   that resolves to an analyzed function.  Attribute calls
-   (``obj.method(...)``) are method dispatch and stay out of the graph
-   -- they are handled by the method-name heuristics of the rule passes;
+   call that resolves to an analyzed function -- plain-``Name`` calls
+   (``helper(...)`` / ``yield from helper(...)``), module-qualified
+   calls (``m.helper(...)`` where ``m`` is an indexed module alias) and
+   same-class method calls (``self.helper(...)`` inside a method body).
+   Other attribute calls (``obj.method(...)`` on arbitrary receivers)
+   are dynamic dispatch and stay out of the graph -- they are handled
+   by the method-name heuristics of the rule passes;
 3. :func:`strongly_connected` (Tarjan) condenses recursion cycles so
    :mod:`repro.analyze.dataflow.summaries` can compute per-function
    summaries bottom-up: callees first, each recursive component iterated
@@ -37,9 +42,11 @@ FunctionRef = Tuple[str, str]
 
 
 class ModuleInfo:
-    """One parsed module: its AST, top-level functions and imports."""
+    """One parsed module: its AST, top-level functions, class methods,
+    imports and module aliases."""
 
-    __slots__ = ("path", "tree", "dotted", "functions", "imports")
+    __slots__ = ("path", "tree", "dotted", "functions", "imports",
+                 "module_aliases", "methods", "method_owners")
 
     def __init__(self, path: str, tree: ast.Module, dotted: Tuple[str, ...]):
         self.path = path
@@ -53,10 +60,31 @@ class ModuleInfo:
         }
         #: local name -> (absolute dotted module components, remote name)
         self.imports: Dict[str, Tuple[Tuple[str, ...], str]] = {}
+        #: local name -> absolute dotted module components, for
+        #: ``import pkg`` / ``import pkg.mod as m`` bindings
+        self.module_aliases: Dict[str, Tuple[str, ...]] = {}
+        #: ``"Class.method"`` -> method definition, for top-level classes
+        self.methods: Dict[str, ast.AST] = {}
+        #: bare method name -> class names defining it (ambiguity check
+        #: for the per-module ``self.method`` resolution)
+        self.method_owners: Dict[str, List[str]] = {}
         self._collect_imports()
+        self._collect_methods()
 
     def _collect_imports(self) -> None:
         for node in self.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        # `import pkg.mod as m`: `m` names the module
+                        self.module_aliases[alias.asname] = tuple(
+                            alias.name.split("."))
+                    elif "." not in alias.name:
+                        # `import pkg`: binds `pkg`; dotted plain imports
+                        # (`import pkg.mod`) need a two-attribute chain
+                        # at the call site and stay unresolved
+                        self.module_aliases[alias.name] = (alias.name,)
+                continue
             if not isinstance(node, ast.ImportFrom):
                 continue
             if node.level:
@@ -74,6 +102,16 @@ class ModuleInfo:
                 if alias.name == "*":
                     continue
                 self.imports[alias.asname or alias.name] = (target, alias.name)
+
+    def _collect_methods(self) -> None:
+        for node in self.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self.methods[f"{node.name}.{item.name}"] = item
+                    self.method_owners.setdefault(
+                        item.name, []).append(node.name)
 
 
 def _module_dotted(path: str) -> Tuple[str, ...]:
@@ -132,30 +170,65 @@ class Project:
                 return (target.path, remote)
         return None
 
+    def resolve_qualified(self, module: ModuleInfo, value: str,
+                          attr: str) -> Optional[FunctionRef]:
+        """What analyzed function does ``value.attr(...)`` denote, when
+        ``value`` names a module (``import pkg.mod as m`` or
+        ``from pkg import mod``)?  None for ordinary object receivers."""
+        target = module.module_aliases.get(value)
+        if target is None:
+            imported = module.imports.get(value)
+            if imported is None:
+                return None
+            # `from pkg import mod`: the bound name may itself be a module
+            target = imported[0] + (imported[1],)
+        target_mod = self._resolve_module(target)
+        if target_mod is not None and attr in target_mod.functions:
+            return (target_mod.path, attr)
+        return None
+
     # -- the graph -----------------------------------------------------------
 
     def function_refs(self) -> List[FunctionRef]:
         out: List[FunctionRef] = []
         for path in sorted(self.modules):
-            out.extend((path, name)
-                       for name in sorted(self.modules[path].functions))
+            info = self.modules[path]
+            out.extend((path, name) for name in sorted(info.functions))
+            out.extend((path, name) for name in sorted(info.methods))
         return out
 
     def function(self, ref: FunctionRef) -> ast.AST:
-        return self.modules[ref[0]].functions[ref[1]]
+        info = self.modules[ref[0]]
+        fn = info.functions.get(ref[1])
+        return fn if fn is not None else info.methods[ref[1]]
 
     def call_edges(self) -> Dict[FunctionRef, List[FunctionRef]]:
-        """caller -> resolved callees (plain-Name call sites only)."""
+        """caller -> resolved callees: plain-``Name`` calls, module-
+        qualified ``m.fn(...)`` calls and same-class ``self.m(...)``
+        calls (for callers that are methods)."""
         edges: Dict[FunctionRef, List[FunctionRef]] = {}
         for ref in self.function_refs():
             module = self.modules[ref[0]]
+            own_class = ref[1].split(".", 1)[0] if "." in ref[1] else None
             seen: List[FunctionRef] = []
             for node in ast.walk(self.function(ref)):
-                if isinstance(node, ast.Call) and isinstance(
-                        node.func, ast.Name):
-                    callee = self.resolve(module, node.func.id)
-                    if callee is not None and callee not in seen:
-                        seen.append(callee)
+                if not isinstance(node, ast.Call):
+                    continue
+                fn = node.func
+                callee: Optional[FunctionRef] = None
+                if isinstance(fn, ast.Name):
+                    callee = self.resolve(module, fn.id)
+                elif isinstance(fn, ast.Attribute) and isinstance(
+                        fn.value, ast.Name):
+                    if fn.value.id == "self" and own_class is not None:
+                        key = f"{own_class}.{fn.attr}"
+                        if key in module.methods:
+                            callee = (ref[0], key)
+                    else:
+                        callee = self.resolve_qualified(
+                            module, fn.value.id, fn.attr)
+                if callee is not None and callee not in seen:
+                    seen.append(callee)
             edges[ref] = seen
         return edges
 

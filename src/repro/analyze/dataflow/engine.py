@@ -33,6 +33,7 @@ __all__ = [
     "CallSummary",
     "liveness",
     "reaching_definitions",
+    "resolve_call_summary",
     "stmt_uses",
     "stmt_defs",
     "summarize_function",
@@ -270,6 +271,34 @@ def summarize_function(func: ast.AST) -> CallSummary:
                     waits.add(params.index(root))
     return CallSummary(getattr(func, "name", "<lambda>"), params, waits,
                        calls_collective, calls_blocking)
+
+
+def resolve_call_summary(fn: ast.AST,
+                         summaries: Dict[str, CallSummary],
+                         ) -> "tuple[Optional[CallSummary], int]":
+    """The callee summary a call's ``func`` expression denotes, plus the
+    *argument offset* mapping call-site positions to callee parameter
+    indices.
+
+    Three call shapes resolve (everything else is ``(None, 0)``):
+
+    - ``helper(...)``: plain-name lookup, offset 0;
+    - ``m.helper(...)``: qualified lookup under the ``"m.helper"`` key
+      the summary environment carries for module aliases, offset 0;
+    - ``self.helper(...)``: qualified lookup under ``"self.helper"``
+      (present when exactly one top-level class of the module defines
+      the method); offset 1 when the callee's first parameter is
+      ``self``, since call-site argument 0 lands on parameter 1.
+    """
+    if isinstance(fn, ast.Name):
+        return summaries.get(fn.id), 0
+    if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+        summary = summaries.get(f"{fn.value.id}.{fn.attr}")
+        if summary is not None:
+            offset = 1 if (fn.value.id == "self" and summary.params
+                           and summary.params[0] == "self") else 0
+            return summary, offset
+    return None, 0
 
 
 def summaries_for(module_funcs: Dict[str, ast.AST],

@@ -15,8 +15,9 @@ Kills:
 
 - ``name.wait()`` / ``name.test()`` / ``Request.waitall([.., name, ..])``
   complete a request,
-- ``yield from helper(name, ..)`` where the one-level call summary says
-  the helper waits that parameter,
+- ``yield from helper(name, ..)`` -- also ``self.helper(..)`` and
+  ``mod.helper(..)`` -- where the call summary says the helper waits
+  that parameter,
 - any other *escape* of the name (argument to an unknown callee, return
   value, container element, attribute store) conservatively completes it
   (someone else may wait it),
@@ -50,6 +51,7 @@ from repro.analyze.dataflow.engine import (
     header_expressions,
     liveness,
     reaching_definitions,
+    resolve_call_summary,
     stmt_defs,
     summaries_for,
 )
@@ -178,28 +180,26 @@ class _FunctionFacts:
                                 sub.ctx, ast.Load):
                             completes.add(sub.id)
                 return
-            # unknown method call: arguments escape; a mutating method on
-            # the receiver is recorded by the caller via MUTATING_METHODS
-            escapes.update(arg_names + kw_names)
+        summary, offset = resolve_call_summary(fn, self.summaries)
+        if summary is not None:
+            # call summary (plain, module-qualified or self-method):
+            # only the waited params complete; other known-helper params
+            # stay pending (precise).  ``offset`` shifts positional
+            # argument indices past an implicit ``self`` parameter.
+            for pos, arg in enumerate(call.args):
+                if not isinstance(arg, ast.Name):
+                    continue
+                if pos + offset in summary.waits_params:
+                    completes.add(arg.id)
+            for kw in call.keywords:
+                if not isinstance(kw.value, ast.Name):
+                    continue
+                if kw.arg in summary.params and summary.params.index(
+                        kw.arg) in summary.waits_params:
+                    completes.add(kw.value.id)
             return
-        if isinstance(fn, ast.Name):
-            summary = self.summaries.get(fn.id)
-            if summary is not None:
-                # call summary: only the waited params complete; other
-                # known-helper params stay pending (precise), while
-                # falling back to escape for extra positional args
-                for pos, arg in enumerate(call.args):
-                    if not isinstance(arg, ast.Name):
-                        continue
-                    if pos in summary.waits_params:
-                        completes.add(arg.id)
-                for kw in call.keywords:
-                    if not isinstance(kw.value, ast.Name):
-                        continue
-                    if kw.arg in summary.params and summary.params.index(
-                            kw.arg) in summary.waits_params:
-                        completes.add(kw.value.id)
-                return
+        # unknown callee: arguments escape; a mutating method on the
+        # receiver is recorded by the caller via MUTATING_METHODS
         escapes.update(arg_names + kw_names)
 
     def _scan_defs(self, idx: int, stmt: ast.AST) -> None:
@@ -220,32 +220,29 @@ class _FunctionFacts:
             return
         facts: Set[Tuple] = set()
         wrapped = isinstance(value, (ast.YieldFrom, ast.Await))
-        if isinstance(call.func, ast.Name):
-            # `req = make_request(..)` / `req = yield from make_request(..)`
-            # where the transitive summary says the helper hands back a
-            # pending request: the wait obligation lands here
-            summary = self.summaries.get(call.func.id)
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr in ISEND_METHODS and wrapped:
+                for name in names:
+                    facts.add(("req", name, idx, "send", _buffer_name(call)))
+            elif attr in DIRECT_REQUEST_METHODS and not wrapped:
+                kind = "recv" if attr == "irecv" else "send"
+                for name in names:
+                    facts.add(("req", name, idx, kind, _buffer_name(call)))
+            elif attr in BLOCKING_GENERATOR_METHODS and not wrapped:
+                # `g = comm.send(..)`: a generator object, not yet driven
+                for name in names:
+                    facts.add(("gen", name, idx, attr))
+        if not facts:
+            # `req = make_request(..)` / `req = yield from self.make(..)`
+            # / `req = yield from helpers.make(..)` where the transitive
+            # summary says the helper hands back a pending request: the
+            # wait obligation lands here
+            summary, _offset = resolve_call_summary(call.func,
+                                                    self.summaries)
             if summary is not None and summary.returns_request:
                 for name in names:
                     facts.add(("req", name, idx, summary.request_kind, None))
-                self.gen[idx] = facts
-                self.completes[idx] = self.completes[idx] - set(names)
-                self.escapes[idx] = self.escapes[idx] - set(names)
-            return
-        if not isinstance(call.func, ast.Attribute):
-            return
-        attr = call.func.attr
-        if attr in ISEND_METHODS and wrapped:
-            for name in names:
-                facts.add(("req", name, idx, "send", _buffer_name(call)))
-        elif attr in DIRECT_REQUEST_METHODS and not wrapped:
-            kind = "recv" if attr == "irecv" else "send"
-            for name in names:
-                facts.add(("req", name, idx, kind, _buffer_name(call)))
-        elif attr in BLOCKING_GENERATOR_METHODS and not wrapped:
-            # `g = comm.send(..)`: a generator object, not yet driven
-            for name in names:
-                facts.add(("gen", name, idx, attr))
         if facts:
             self.gen[idx] = facts
             # the definition node must not kill its own fresh facts

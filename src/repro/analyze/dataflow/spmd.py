@@ -28,8 +28,9 @@ Two idioms are recognised and exempted rather than flagged:
 Rules:
 
 - **SPMD101** (error): a collective operation (or a ``yield from`` of a
-  module-level helper whose one-level call summary performs one) appears
-  under a rank-tainted branch with no matching call on the other path.
+  helper -- plain, ``self.``- or module-qualified -- whose call summary
+  performs one) appears under a rank-tainted branch with no matching
+  call on the other path.
 - **SPMD102** (warning): a rank-tainted branch returns/raises out of the
   function while an unmatched collective appears later on the
   fall-through path -- the ranks that exit early never reach it.
@@ -43,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.analyze.dataflow.engine import (
     COLLECTIVE_METHODS,
     CallSummary,
+    resolve_call_summary,
     summaries_for,
 )
 from repro.analyze.findings import Report
@@ -59,11 +61,11 @@ def _expr_tainted(expr: ast.AST, tainted: Set[str],
         if (isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
                 and sub.id in tainted):
             return True
-        if (summaries and isinstance(sub, ast.Call)
-                and isinstance(sub.func, ast.Name)):
+        if summaries and isinstance(sub, ast.Call):
             # interprocedural seed: a helper whose summary says its
-            # return value is rank-derived (`if _am_i_root(comm): ...`)
-            summary = summaries.get(sub.func.id)
+            # return value is rank-derived (`if _am_i_root(comm): ...`,
+            # `if self._am_root(): ...`, `if util.is_root(comm): ...`)
+            summary, _offset = resolve_call_summary(sub.func, summaries)
             if summary is not None and summary.returns_tainted:
                 return True
     return False
@@ -121,12 +123,14 @@ def _collective_calls(node: ast.AST,
         if isinstance(fn, ast.Attribute) and fn.attr in COLLECTIVE_METHODS:
             recv = fn.value.id if isinstance(fn.value, ast.Name) else None
             out.append((sub.lineno, f".{fn.attr}(...)", fn.attr, recv))
-        elif isinstance(fn, ast.Name):
-            summary = summaries.get(fn.id)
-            if summary is not None and summary.calls_collective:
-                out.append((sub.lineno,
-                            f"{fn.id}(...) [helper performs a collective]",
-                            fn.id, None))
+            continue
+        summary, _offset = resolve_call_summary(fn, summaries)
+        if summary is not None and summary.calls_collective:
+            name = fn.id if isinstance(fn, ast.Name) \
+                else f"{fn.value.id}.{fn.attr}"
+            out.append((sub.lineno,
+                        f"{name}(...) [helper performs a collective]",
+                        name, None))
     return out
 
 

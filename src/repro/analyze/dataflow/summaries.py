@@ -19,6 +19,13 @@ flowing out through return values.  This module recomputes the
 - ``returns_tainted``: some ``return`` value is rank-derived, so
   ``if helper(comm):`` guards are rank-dependent branches in callers.
 
+Callee resolution covers plain-``Name`` calls and the two qualified
+shapes of :func:`~repro.analyze.dataflow.engine.resolve_call_summary`:
+module-qualified ``m.helper(...)`` (via the ``"m.helper"`` environment
+keys built for module aliases) and same-class ``self.helper(...)``
+(via ``"self.helper"`` keys, published only when exactly one top-level
+class of the module defines the method).
+
 Order and termination
 ---------------------
 
@@ -50,6 +57,7 @@ from repro.analyze.dataflow.engine import (
     COLLECTIVE_METHODS,
     WAIT_METHODS,
     CallSummary,
+    resolve_call_summary,
 )
 from repro.analyze.dataflow.spmd import tainted_names
 
@@ -85,11 +93,9 @@ def _creates_request(value: ast.AST,
             return _WRAPPED_REQUEST_METHODS[fn.attr]
         if not wrapped and fn.attr in _DIRECT_REQUEST_METHODS:
             return _DIRECT_REQUEST_METHODS[fn.attr]
-        return None
-    if isinstance(fn, ast.Name):
-        summary = env.get(fn.id)
-        if summary is not None and summary.returns_request:
-            return summary.request_kind
+    summary, _offset = resolve_call_summary(fn, env)
+    if summary is not None and summary.returns_request:
+        return summary.request_kind
     return None
 
 
@@ -150,23 +156,24 @@ def _summarize(name: str, func: ast.AST,
                                 sub.ctx, ast.Load) \
                                 and sub.id in param_index:
                             waits.add(param_index[sub.id])
-        elif isinstance(fn, ast.Name):
-            callee = env.get(fn.id)
-            if callee is None:
-                continue
-            calls_collective |= callee.calls_collective
-            calls_blocking |= callee.calls_blocking
-            # map waited callee parameters back onto our own parameters
-            for pos, arg in enumerate(call.args):
-                if pos in callee.waits_params and isinstance(arg, ast.Name) \
-                        and arg.id in param_index:
-                    waits.add(param_index[arg.id])
-            for kw in call.keywords:
-                if kw.arg in callee.params \
-                        and callee.params.index(kw.arg) in callee.waits_params \
-                        and isinstance(kw.value, ast.Name) \
-                        and kw.value.id in param_index:
-                    waits.add(param_index[kw.value.id])
+        callee, offset = resolve_call_summary(fn, env)
+        if callee is None:
+            continue
+        calls_collective |= callee.calls_collective
+        calls_blocking |= callee.calls_blocking
+        # map waited callee parameters back onto our own parameters
+        # (``offset`` shifts positions past an implicit ``self``)
+        for pos, arg in enumerate(call.args):
+            if pos + offset in callee.waits_params \
+                    and isinstance(arg, ast.Name) \
+                    and arg.id in param_index:
+                waits.add(param_index[arg.id])
+        for kw in call.keywords:
+            if kw.arg in callee.params \
+                    and callee.params.index(kw.arg) in callee.waits_params \
+                    and isinstance(kw.value, ast.Name) \
+                    and kw.value.id in param_index:
+                waits.add(param_index[kw.value.id])
 
     request_locals = _request_locals(func, env)
     returns_request = False
@@ -201,8 +208,8 @@ def _returns_tainted_value(value: ast.AST, tainted: Set[str],
         if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load) \
                 and sub.id in tainted:
             return True
-        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name):
-            callee = env.get(sub.func.id)
+        if isinstance(sub, ast.Call):
+            callee, _offset = resolve_call_summary(sub.func, env)
             if callee is not None and callee.returns_tainted:
                 return True
     return False
@@ -211,9 +218,18 @@ def _returns_tainted_value(value: ast.AST, tainted: Set[str],
 def _env_for(project: Project, module: ModuleInfo,
              summaries: Dict[FunctionRef, CallSummary],
              ) -> Dict[str, CallSummary]:
-    """Callee summaries visible by local name inside ``module`` (local
-    functions plus resolved ``from ... import`` bindings), restricted to
-    what has been computed so far."""
+    """Callee summaries visible inside ``module``, restricted to what
+    has been computed so far.  Keys:
+
+    - plain names for local functions and resolved ``from ... import``
+      bindings;
+    - ``"alias.fn"`` for every function of a module bound by
+      ``import pkg.mod as alias`` / ``from pkg import mod`` that
+      resolves inside the analyzed set;
+    - ``"self.m"`` for methods defined by exactly *one* top-level class
+      of this module (more than one definer is ambiguous at a bare
+      ``self.m(...)`` site, so no key is published).
+    """
     env: Dict[str, CallSummary] = {}
     for local in module.functions:
         ref = (module.path, local)
@@ -223,6 +239,27 @@ def _env_for(project: Project, module: ModuleInfo,
         ref = project.resolve(module, local)
         if ref is not None and ref in summaries and local not in env:
             env[local] = summaries[ref]
+    # module-qualified callees: both import styles that bind a module
+    aliases = dict(module.module_aliases)
+    for local, (target, remote) in module.imports.items():
+        if local not in aliases:
+            aliases[local] = target + (remote,)
+    for local, target in aliases.items():
+        target_mod = project._resolve_module(target)
+        if target_mod is None:
+            continue
+        for fname in target_mod.functions:
+            ref = (target_mod.path, fname)
+            key = f"{local}.{fname}"
+            if ref in summaries and key not in env:
+                env[key] = summaries[ref]
+    # same-class method callees, where unambiguous in this module
+    for mname, owners in module.method_owners.items():
+        if len(owners) != 1:
+            continue
+        ref = (module.path, f"{owners[0]}.{mname}")
+        if ref in summaries:
+            env[f"self.{mname}"] = summaries[ref]
     return env
 
 

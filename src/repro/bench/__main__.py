@@ -78,6 +78,15 @@ def _parse(argv: list[str]) -> argparse.Namespace:
                         help="multiply every wire transfer's time by SCALE "
                              "via the fault injector (regression-gate "
                              "self-test aid)")
+    parser.add_argument("--guidelines", action="store_true",
+                        help="run the datatype performance-guideline suite "
+                             "(pack <= manual copy, Vector <= Indexed, "
+                             "Contiguous <= Vector) and exit 1 on any "
+                             "violation")
+    parser.add_argument("--no-ir-passes", action="store_true",
+                        help="disable the datatype-IR optimization passes "
+                             "(guideline-gate self-test aid; the suite "
+                             "must then FAIL)")
     parser.add_argument("--autotune", action="store_true",
                         help="train a tuning table in the simulator and "
                              "assert it ties-or-beats the fixed configs")
@@ -204,8 +213,77 @@ def _run_autotune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_guidelines(args: argparse.Namespace) -> int:
+    """The self-checking datatype guideline suite (CI gate)."""
+    from repro.bench.guidelines import run_guidelines
+    from repro.datatypes import ir
+
+    t0 = time.time()
+    if args.no_ir_passes:
+        ir.set_passes_enabled(False)
+        ir.cache_clear()
+        print("datatype IR optimization passes DISABLED (--no-ir-passes)")
+    if args.profile:
+        from repro.prof import session
+
+        session.enable()
+    try:
+        scale = 256 if args.quick else 512
+        fig, violations = run_guidelines(scale=scale)
+        print_figure(fig)
+        print()
+        if args.emit_json:
+            doc = {
+                "schema": "repro-bench/1",
+                "quick": args.quick,
+                "ir_passes": ir.passes_enabled(),
+                "figures": {
+                    fig.name: {
+                        "title": fig.title,
+                        "columns": fig.columns,
+                        "rows": fig.rows,
+                        "notes": fig.notes,
+                    }
+                },
+            }
+            if args.profile:
+                from repro.prof import session
+
+                report = dict(session.report())
+                report.pop("prometheus", None)
+                doc["profile"] = report
+            with open(args.emit_json, "w") as fh:
+                json.dump(doc, fh, indent=1, default=str)
+            print(f"JSON report written to {args.emit_json}")
+    finally:
+        if args.profile:
+            from repro.prof import session
+
+            session.disable()
+        if args.no_ir_passes:
+            ir.set_passes_enabled(True)
+            ir.cache_clear()
+
+    print(f"wall time: {time.time() - t0:.0f} s")
+    if violations:
+        print("GUIDELINE VIOLATION(S):")
+        for problem in violations:
+            print(f"  {problem}")
+        return 1
+    print("all datatype performance guidelines hold")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     args = _parse(argv)
+    if args.guidelines:
+        if args.figures:
+            print("--guidelines does not take figure arguments")
+            return 2
+        return _run_guidelines(args)
+    if args.no_ir_passes:
+        print("--no-ir-passes requires --guidelines")
+        return 2
     if args.autotune:
         if args.figures:
             print("--autotune does not take figure arguments")

@@ -6,16 +6,23 @@ This package is the heart of the paper's first contribution (sections 3.1 and
 - :mod:`repro.datatypes.typemap` -- the datatype constructors
   (``Contiguous``, ``Vector``, ``Indexed``, ``Struct``, ``Subarray``, ...),
   mirroring MPI's type-creation calls,
-- :mod:`repro.datatypes.flatten` -- vectorised flattening of a datatype into
-  its contiguous-block stream (the "typemap"),
+- :mod:`repro.datatypes.ir` -- the datatype compiler: every constructor
+  tree lowers to a canonical strided-block IR, an optimizing pass pipeline
+  normalises it (equivalent specs reach identical IR), and lowering emits
+  the bulk-copy programs packing executes; plans are memoized process-wide
+  by structural signature,
+- :mod:`repro.datatypes.flatten` -- the contiguous-block stream
+  (``BlockList``) the cost engines walk, now produced from the IR,
 - :mod:`repro.datatypes.packing` -- functional packing/unpacking: bytes
-  really move between user buffers and contiguous wire buffers,
+  really move between user buffers and contiguous wire buffers by
+  executing compiled copy programs,
 - :mod:`repro.datatypes.engine` -- the *cost* side: the baseline
   single-context engine (whose density look-ahead loses the pack context and
   must re-search, quadratically) and the paper's dual-context look-ahead
   engine.
 """
 
+from repro.datatypes import ir
 from repro.datatypes.typemap import (
     BYTE,
     CHAR,
@@ -42,6 +49,7 @@ from repro.datatypes.engine import (
     DualContextEngine,
     PackStage,
     SingleContextEngine,
+    engine_for,
     make_engine,
 )
 
@@ -69,5 +77,7 @@ __all__ = [
     "Subarray",
     "TypedBuffer",
     "Vector",
+    "engine_for",
+    "ir",
     "make_engine",
 ]

@@ -145,6 +145,19 @@ def make_engine(blocks: BlockList, cost: CostModel, dual_context: bool) -> _Engi
     return cls(blocks, cost)
 
 
+def engine_for(typed, cost: CostModel, dual_context: bool) -> _EngineBase:
+    """Engine over a :class:`~repro.datatypes.packing.TypedBuffer`'s layout.
+
+    The block structure comes from the buffer's compiled IR plan (shared
+    across equal-structure types), so repeated sends of the same datatype
+    never re-derive the ``BlockList`` the cost model walks.  The *cost*
+    analysis itself is untouched: both engines see the same merged block
+    stream the legacy flatten produced, keeping the quadratic-re-search
+    versus constant-look-ahead pins exactly where the paper puts them.
+    """
+    return make_engine(typed.blocks, cost, dual_context)
+
+
 def unpack_stage_cost(nbytes: int, nblocks: int, cost: CostModel, contiguous: bool) -> float:
     """Receiver-side CPU cost of scattering one chunk into a typed layout.
 

@@ -6,10 +6,12 @@ contiguous array (``pack``) or scatter a contiguous array back out
 (``unpack``).  The MPI layer transfers those contiguous bytes between ranks,
 so every simulated experiment doubles as a data-correctness test.
 
-The gather/scatter index is built once per (datatype, count) with pure numpy
-(no per-block Python loop) at the widest power-of-two granularity that
-divides every block offset and length -- an all-double datatype moves 8-byte
-elements, not single bytes.
+Data movement executes the :class:`repro.datatypes.ir.CopyProgram` compiled
+(and memoized process-wide) for the buffer's ``(datatype, count)`` structure:
+bulk slice copies and 2-D strided views for regular layouts, one cached
+gather index for irregular ones.  The legacy element-gather path
+(:meth:`TypedBuffer.pack_legacy`) is retained as the differential-testing
+reference -- the fuzz suite asserts both move identical bytes.
 """
 
 from __future__ import annotations
@@ -18,9 +20,9 @@ from typing import Optional
 
 import numpy as np
 
+from repro.datatypes import ir as _ir
 from repro.datatypes.flatten import BlockList
 from repro.datatypes.typemap import (
-    Contiguous,
     Datatype,
     DatatypeError,
     TypeSignature,
@@ -77,10 +79,13 @@ class TypedBuffer:
         self.offset_bytes = int(offset_bytes)
         self._bytes = _as_byte_view(self.buffer)
         if count == 0:
+            self._plan: Optional[_ir.CompiledPlan] = None
             self._blocks: Optional[BlockList] = None
         else:
-            dt = Contiguous(count, datatype) if count > 1 else datatype
-            self._blocks = dt.flatten().shifted(self.offset_bytes)
+            self._plan = _ir.compile_datatype(datatype, count)
+            shared = self._plan.blocks
+            self._blocks = (shared.shifted(self.offset_bytes)
+                            if self.offset_bytes else shared)
             end_needed = int((self._blocks.offsets + self._blocks.lengths).max())
             if end_needed > self._bytes.size:
                 raise DatatypeError(
@@ -111,18 +116,26 @@ class TypedBuffer:
         """Contiguous blocks in the flattened layout (0 for zero-count)."""
         return 0 if self._blocks is None else self._blocks.num_blocks
 
+    @property
+    def plan(self) -> Optional[_ir.CompiledPlan]:
+        """The shared compiled plan (None for zero-count buffers)."""
+        return self._plan
+
     def layout_summary(self) -> dict:
         """Compact layout description (used as profiling span attributes)."""
         if self._blocks is None:
             return {"nbytes": 0, "blocks": 0, "mean_block": 0.0,
                     "contiguous": True}
         nb = self._blocks.num_blocks
-        return {
+        summary = {
             "nbytes": self._blocks.size,
             "blocks": nb,
             "mean_block": self._blocks.size / nb,
             "contiguous": nb == 1,
         }
+        if self._plan is not None:
+            summary.update(self._plan.info())
+        return summary
 
     def signature(self) -> TypeSignature:
         """The MPI type signature of the whole buffer (count copies)."""
@@ -143,7 +156,14 @@ class TypedBuffer:
     # -- data movement ---------------------------------------------------------
 
     def pack(self) -> np.ndarray:
-        """Gather the payload into a fresh contiguous uint8 array."""
+        """Gather the payload into a fresh contiguous uint8 array by
+        executing the compiled copy program."""
+        if self._plan is None:
+            return np.empty(0, dtype=np.uint8)
+        return self._plan.program.pack(self._bytes, self.offset_bytes)
+
+    def pack_legacy(self) -> np.ndarray:
+        """The pre-IR element-gather pack (kept as the differential oracle)."""
         if self._blocks is None:
             return np.empty(0, dtype=np.uint8)
         if self._blocks.num_blocks == 1:
@@ -166,7 +186,19 @@ class TypedBuffer:
         return self._bytes[:usable].view(np.dtype((np.void, self._gran)))
 
     def unpack(self, data: np.ndarray) -> None:
-        """Scatter contiguous ``data`` (uint8) back into the typed layout."""
+        """Scatter contiguous ``data`` (uint8) back into the typed layout by
+        executing the compiled copy program."""
+        data = np.asarray(data).reshape(-1).view(np.uint8)
+        if data.size != self.nbytes:
+            raise DatatypeError(
+                f"unpack size mismatch: got {data.size} bytes, type holds {self.nbytes}"
+            )
+        if self._plan is None:
+            return
+        self._plan.program.unpack(self._bytes, self.offset_bytes, data)
+
+    def unpack_legacy(self, data: np.ndarray) -> None:
+        """The pre-IR element-scatter unpack (the differential oracle)."""
         data = np.asarray(data).reshape(-1).view(np.uint8)
         if data.size != self.nbytes:
             raise DatatypeError(

@@ -37,6 +37,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.datatypes.flatten import BlockList, merge_adjacent
+from repro.datatypes import ir as _ir
 
 #: a type signature: run-length-encoded primitive sequence ((name, count), ...)
 TypeSignature = Tuple[Tuple[str, int], ...]
@@ -100,7 +101,9 @@ def signature_hash(datatype: "Datatype", count: int = 1) -> int:
 
 
 class Datatype:
-    """Base class; concrete types implement :meth:`_flatten`."""
+    """Base class; concrete types implement :meth:`_build_ir` (the canonical
+    strided-block IR the compiler consumes) and :meth:`_flatten` (the legacy
+    per-class expansion, kept as the differential-testing reference)."""
 
     #: payload bytes per instance of this type
     size: int
@@ -110,12 +113,34 @@ class Datatype:
     _cached_blocks: Optional[BlockList]
 
     def flatten(self) -> BlockList:
-        """The merged contiguous-block stream of one instance of the type."""
+        """The merged contiguous-block stream of one instance of the type.
+
+        Served from the :mod:`repro.datatypes.ir` compile cache: every
+        instance with the same :meth:`struct_key` shares one ``BlockList``
+        (and one lowered copy program), so repeated construction of equal
+        types never recomputes the expansion.
+        """
         if self._cached_blocks is None:
-            self._cached_blocks = self._flatten()
+            self._cached_blocks = _ir.compile_datatype(self).blocks
         return self._cached_blocks
 
     def _flatten(self) -> BlockList:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _build_ir(self) -> "_ir.IRNode":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def struct_key(self) -> tuple:
+        """A hashable structural identity: equal keys mean byte-identical
+        layouts built from the same constructor tree (the compile-cache
+        key; numpy index arrays enter via their raw bytes)."""
+        key = getattr(self, "_struct_key", None)
+        if key is None:
+            key = self._struct_key_parts()
+            self._struct_key = key
+        return key
+
+    def _struct_key_parts(self) -> tuple:  # pragma: no cover - abstract
         raise NotImplementedError
 
     @property
@@ -156,6 +181,12 @@ class Primitive(Datatype):
 
     def _flatten(self) -> BlockList:
         return BlockList(np.array([0]), np.array([self.size]))
+
+    def _build_ir(self) -> _ir.IRNode:
+        return _ir.Block(0, self.size)
+
+    def _struct_key_parts(self) -> tuple:
+        return ("prim", self.name, self.size)
 
     def typemap_signature(self) -> TypeSignature:
         return ((self.name, 1),)
@@ -212,6 +243,12 @@ class Contiguous(Datatype):
         disps = np.arange(self.count, dtype=np.int64) * self.base.extent
         return self.base.flatten().replicated(disps)
 
+    def _build_ir(self) -> _ir.IRNode:
+        return _ir.loop(self.count, self.base.extent, _ir.ir_of(self.base))
+
+    def _struct_key_parts(self) -> tuple:
+        return ("contig", self.count, self.base.struct_key())
+
     def typemap_signature(self) -> TypeSignature:
         return _rle_repeat(self.base.typemap_signature(), self.count)
 
@@ -242,6 +279,15 @@ class Vector(Datatype):
         disps = np.arange(self.count, dtype=np.int64) * (self.stride * self.base.extent)
         return block.flatten().replicated(disps)
 
+    def _build_ir(self) -> _ir.IRNode:
+        ext = self.base.extent
+        run = _ir.loop(self.blocklength, ext, _ir.ir_of(self.base))
+        return _ir.loop(self.count, self.stride * ext, run)
+
+    def _struct_key_parts(self) -> tuple:
+        return ("vector", self.count, self.blocklength, self.stride,
+                self.base.struct_key())
+
     def typemap_signature(self) -> TypeSignature:
         return _rle_repeat(self.base.typemap_signature(), self.count * self.blocklength)
 
@@ -266,6 +312,15 @@ class HVector(Datatype):
         block = Contiguous(self.blocklength, self.base) if self.blocklength > 1 else self.base
         disps = np.arange(self.count, dtype=np.int64) * self.stride_bytes
         return block.flatten().replicated(disps)
+
+    def _build_ir(self) -> _ir.IRNode:
+        ext = self.base.extent
+        run = _ir.loop(self.blocklength, ext, _ir.ir_of(self.base))
+        return _ir.loop(self.count, self.stride_bytes, run)
+
+    def _struct_key_parts(self) -> tuple:
+        return ("hvector", self.count, self.blocklength, self.stride_bytes,
+                self.base.struct_key())
 
     def typemap_signature(self) -> TypeSignature:
         return _rle_repeat(self.base.typemap_signature(), self.count * self.blocklength)
@@ -299,15 +354,34 @@ class Indexed(Datatype):
             offs = self.displacements * self.base.extent
             lens = self.blocklengths * self.base.size
             return merge_adjacent(offs, lens)
-        parts_off = []
-        parts_len = []
-        for blen, disp in zip(self.blocklengths.tolist(), self.displacements.tolist()):
-            sub = Contiguous(blen, self.base).flatten().shifted(disp * self.base.extent)
-            parts_off.append(sub.offsets)
-            parts_len.append(sub.lengths)
-        offs = np.concatenate(parts_off)
-        lens = np.concatenate(parts_len)
+        # general base: entry e contributes blocklengths[e] copies of the
+        # base layout at element offsets displacements[e], disp[e]+1, ...
+        # Expanded with the ragged-ranges trick -- no per-entry python loop.
+        ext = self.base.extent
+        reps = self.blocklengths
+        total = int(reps.sum())
+        ends = np.cumsum(reps)
+        within = np.arange(total, dtype=np.int64) - np.repeat(ends - reps, reps)
+        copy_off = (np.repeat(self.displacements, reps) + within) * ext
+        offs = (copy_off[:, None] + base_bl.offsets[None, :]).reshape(-1)
+        lens = np.tile(base_bl.lengths, total)
         return merge_adjacent(offs, lens)
+
+    def _build_ir(self) -> _ir.IRNode:
+        ext = self.base.extent
+        if self.base.is_contiguous():
+            return _ir.Scatter(self.displacements * ext,
+                               self.blocklengths * self.base.size)
+        base_ir = _ir.ir_of(self.base)
+        return _ir.seq(
+            _ir.shift_ir(_ir.loop(int(blen), ext, base_ir), int(disp) * ext)
+            for blen, disp in zip(self.blocklengths.tolist(),
+                                  self.displacements.tolist())
+        )
+
+    def _struct_key_parts(self) -> tuple:
+        return ("indexed", self.blocklengths.tobytes(),
+                self.displacements.tobytes(), self.base.struct_key())
 
     def typemap_signature(self) -> TypeSignature:
         return _rle_repeat(
@@ -342,6 +416,16 @@ class HIndexed(Datatype):
         lens = self.blocklengths * self.base.size
         return merge_adjacent(offs, lens)
 
+    def _build_ir(self) -> _ir.IRNode:
+        if self.base.num_blocks != 1 or self.base.size != self.base.extent:
+            raise DatatypeError("HIndexed over non-contiguous base not supported")
+        return _ir.Scatter(self.byte_displacements,
+                           self.blocklengths * self.base.size)
+
+    def _struct_key_parts(self) -> tuple:
+        return ("hindexed", self.blocklengths.tobytes(),
+                self.byte_displacements.tobytes(), self.base.struct_key())
+
     def typemap_signature(self) -> TypeSignature:
         return _rle_repeat(
             self.base.typemap_signature(), int(self.blocklengths.sum())
@@ -368,6 +452,20 @@ class IndexedBlock(Datatype):
         block = Contiguous(self.blocklength, self.base) if self.blocklength > 1 else self.base
         disps = self.displacements * self.base.extent
         return block.flatten().replicated(disps)
+
+    def _build_ir(self) -> _ir.IRNode:
+        ext = self.base.extent
+        if self.base.is_contiguous():
+            lens = np.full(len(self.displacements),
+                           self.blocklength * self.base.size, dtype=np.int64)
+            return _ir.Scatter(self.displacements * ext, lens)
+        run = _ir.loop(self.blocklength, ext, _ir.ir_of(self.base))
+        return _ir.seq(_ir.shift_ir(run, int(d) * ext)
+                       for d in self.displacements.tolist())
+
+    def _struct_key_parts(self) -> tuple:
+        return ("indexedblock", self.blocklength,
+                self.displacements.tobytes(), self.base.struct_key())
 
     def typemap_signature(self) -> TypeSignature:
         return _rle_repeat(
@@ -412,6 +510,18 @@ class Struct(Datatype):
         offs = np.concatenate(parts_off)
         lens = np.concatenate(parts_len)
         return merge_adjacent(offs, lens)
+
+    def _build_ir(self) -> _ir.IRNode:
+        return _ir.seq(
+            _ir.shift_ir(_ir.loop(b, t.extent, _ir.ir_of(t)), d)
+            for b, d, t in zip(self.blocklengths, self.byte_displacements,
+                               self.types)
+        )
+
+    def _struct_key_parts(self) -> tuple:
+        return ("struct", tuple(self.blocklengths),
+                tuple(self.byte_displacements),
+                tuple(t.struct_key() for t in self.types))
 
     def typemap_signature(self) -> TypeSignature:
         runs: list = []
@@ -484,6 +594,24 @@ class Subarray(Datatype):
         run = Contiguous(subsizes[-1], self.base) if subsizes[-1] > 1 else self.base
         return run.flatten().replicated(disp)
 
+    def _build_ir(self) -> _ir.IRNode:
+        sizes, subsizes, starts = self.sizes, self.subsizes, self.starts
+        if self.order == "F":
+            sizes, subsizes, starts = sizes[::-1], subsizes[::-1], starts[::-1]
+        elem = self.base.extent
+        strides = [1] * len(sizes)
+        for d in range(len(sizes) - 2, -1, -1):
+            strides[d] = strides[d + 1] * sizes[d + 1]
+        node = _ir.loop(subsizes[-1], elem, _ir.ir_of(self.base))
+        for d in range(len(sizes) - 2, -1, -1):
+            node = _ir.loop(subsizes[d], strides[d] * elem, node)
+        shift = sum(st * sd for st, sd in zip(starts, strides)) * elem
+        return _ir.shift_ir(node, shift)
+
+    def _struct_key_parts(self) -> tuple:
+        return ("subarray", tuple(self.sizes), tuple(self.subsizes),
+                tuple(self.starts), self.order, self.base.struct_key())
+
     def typemap_signature(self) -> TypeSignature:
         n = 1
         for s in self.subsizes:
@@ -504,6 +632,12 @@ class Resized(Datatype):
 
     def _flatten(self) -> BlockList:
         return self.base.flatten()
+
+    def _build_ir(self) -> _ir.IRNode:
+        return _ir.ir_of(self.base)
+
+    def _struct_key_parts(self) -> tuple:
+        return ("resized", self.extent, self.base.struct_key())
 
     def typemap_signature(self) -> TypeSignature:
         return self.base.typemap_signature()

@@ -48,7 +48,13 @@ def _normalize(comm, sendbuffer, recvbuffer, counts, displs, datatype):
 
 
 def _block_tb(recvbuffer, datatype, counts, displs, block) -> Optional[TypedBuffer]:
-    """TypedBuffer covering one rank's contribution region of recvbuffer."""
+    """TypedBuffer covering one rank's contribution region of recvbuffer.
+
+    Rebuilt per call, but cheap: the (datatype, count) pair resolves in the
+    :mod:`repro.datatypes.ir` compile cache, so every ring step reuses the
+    same plan and ``BlockList`` (the per-rank regions differ only in their
+    ``offset_bytes``, which the copy program applies at execution).
+    """
     if counts[block] == 0:
         return None
     return TypedBuffer(

@@ -27,6 +27,11 @@ Which algorithm a call gets is decided by
 :func:`repro.mpi.algorithms.select` (the ``mpich`` policy always picks
 ``round_robin``, ``adaptive`` always ``binned``, matching the pre-registry
 ``config.binned_alltoallw`` flag dispatch bit for bit).
+
+Per-pair datatype processing (the cost the binning hides) rides on
+``comm.isend``, whose engines read each TypedBuffer's block structure from
+the shared :mod:`repro.datatypes.ir` compile cache -- a VecScatter reusing
+the same per-peer layouts every application pays compilation once.
 """
 
 from __future__ import annotations

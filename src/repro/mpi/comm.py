@@ -27,11 +27,12 @@ unpacked into the receive buffer's typed layout on delivery.
 from __future__ import annotations
 
 import zlib
+from time import perf_counter
 from typing import Any, Callable, Generator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.datatypes.engine import make_engine, unpack_stage_cost
+from repro.datatypes.engine import engine_for, unpack_stage_cost
 from repro.datatypes.packing import TypedBuffer
 from repro.datatypes.typemap import BYTE, Datatype, primitive_for, sig_crc
 from repro.mpi.config import MPIConfig
@@ -755,18 +756,23 @@ class Comm:
         prof = self.cluster.profiler
         msg_id = self.cluster._new_msg_id()
 
+        # IR-plan attribution rides on the isend span (never as new "cpu"
+        # span names, which would distort the pack/wait breakdown)
+        plan_attrs = (tb.plan.info()
+                      if prof.enabled and tb.plan is not None else {})
         with prof.span("p2p", "isend", self.grank,
                        dest=self._to_global(dest), tag=tag, nbytes=nbytes,
-                       msg_id=msg_id):
+                       msg_id=msg_id, **plan_attrs):
             if prof.enabled:
                 prof.count("repro_send_messages_total")
                 prof.count("repro_send_bytes_total", nbytes)
                 if nbytes == 0:
                     prof.count("repro_zero_byte_sends_total")
-            # charge datatype processing
+            # charge datatype processing (block structure read off the
+            # compiled IR plan shared by every equal-structure send)
             if nbytes > 0 and not tb.is_contiguous():
-                engine = make_engine(tb.blocks, self.cost,
-                                     self.config.dual_context_engine)
+                engine = engine_for(tb, self.cost,
+                                    self.config.dual_context_engine)
                 stages = engine.plan()
                 look = search = pack = 0.0
                 for stage in stages:
@@ -780,7 +786,16 @@ class Comm:
                     if seconds:
                         yield from self.cpu(seconds, category)
 
-            data = tb.pack()
+            if prof.enabled:
+                t0 = perf_counter()
+                data = tb.pack()
+                prof.observe("repro_datatype_pack_exec_seconds",
+                             perf_counter() - t0)
+                if tb.plan is not None:
+                    prof.count("repro_datatype_pack_ops_total",
+                               tb.plan.program.num_ops)
+            else:
+                data = tb.pack()
             rec = _SendRecord(self.engine, self.grank, self._to_global(dest),
                               tag, self.ctx, data, nbytes, is_obj=False,
                               sig=tb.signature(), msg_id=msg_id)
@@ -1019,7 +1034,13 @@ class Comm:
 
         # functional delivery
         if rec.nbytes == tb.nbytes:
-            tb.unpack(rec.data)
+            if prof.enabled:
+                t0 = perf_counter()
+                tb.unpack(rec.data)
+                prof.observe("repro_datatype_pack_exec_seconds",
+                             perf_counter() - t0)
+            else:
+                tb.unpack(rec.data)
         elif rec.nbytes > 0:
             if tb.is_contiguous():
                 partial = TypedBuffer(tb.buffer, BYTE, count=rec.nbytes,

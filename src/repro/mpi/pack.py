@@ -13,16 +13,35 @@ exactly like MPI's ``position`` argument::
     pos = yield from mpi_pack(comm, m, column_type, 1, outbuf, pos)
     pos = yield from mpi_pack(comm, hdr, INT, 4, outbuf, pos)
     yield from comm.send(outbuf[:pos], dest=1)
+
+Byte movement executes the copy program compiled by
+:mod:`repro.datatypes.ir` -- explicit pack/unpack of a datatype shares the
+same cached plan (and gather indices) the direct-send path uses.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Generator, Optional
 
 import numpy as np
 
 from repro.datatypes.typemap import Datatype
 from repro.mpi.comm import Comm, MPIError, as_typed, payload_crc
+
+
+def _timed_move(comm: Comm, tb, move) -> None:
+    """Run ``move`` (a pack/unpack closure), attributing wall time and op
+    counts to the profiler when one is attached."""
+    prof = comm.cluster.profiler
+    if not prof.enabled:
+        move()
+        return
+    t0 = perf_counter()
+    move()
+    prof.observe("repro_datatype_pack_exec_seconds", perf_counter() - t0)
+    if tb.plan is not None:
+        prof.count("repro_datatype_pack_ops_total", tb.plan.program.num_ops)
 
 __all__ = ["pack_size", "mpi_pack", "mpi_unpack", "payload_crc"]
 
@@ -51,8 +70,10 @@ def mpi_pack(
             f"outbuf overflow: position {position} + payload {tb.nbytes} "
             f"exceeds {out.size} bytes"
         )
-    data = tb.pack()
-    out[position:position + tb.nbytes] = data
+    def _move() -> None:
+        out[position:position + tb.nbytes] = tb.pack()
+
+    _timed_move(comm, tb, _move)
     nblocks = tb.blocks.num_blocks if tb.count else 0
     yield from comm.cpu(
         tb.nbytes * comm.cost.copy_byte + nblocks * comm.cost.block_overhead,
@@ -78,7 +99,8 @@ def mpi_unpack(
             f"inbuf underflow: position {position} + payload {tb.nbytes} "
             f"exceeds {src.size} bytes"
         )
-    tb.unpack(src[position:position + tb.nbytes])
+    _timed_move(comm, tb,
+                lambda: tb.unpack(src[position:position + tb.nbytes]))
     nblocks = tb.blocks.num_blocks if tb.count else 0
     yield from comm.cpu(
         tb.nbytes * comm.cost.copy_byte + nblocks * comm.cost.block_overhead,

@@ -98,7 +98,9 @@ class VecScatter:
         if comm.rank in self.send_map or comm.rank in self.recv_map:
             raise PETScError("self-entries belong in local_pairs")
         # cached Indexed datatypes for the datatype backend (built lazily;
-        # flattening is the expensive part and datatypes are immutable)
+        # datatypes are immutable, and their compiled pack plans live in the
+        # repro.datatypes.ir cache, so the TypedBuffers rebuilt per apply()
+        # share one plan per peer layout)
         self._send_types: Dict[int, Datatype] = {}
         self._recv_types: Dict[int, Datatype] = {}
         self._local_src_type: Optional[Datatype] = None

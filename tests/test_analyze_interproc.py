@@ -187,6 +187,203 @@ def test_cross_function_fixture_pinned():
     assert "caller_of_rank_tainted_helper" in by_rule["SPMD101"].message
 
 
+# -- attribute-qualified calls: self.helper(...) / mod.fn(...) ----------------
+
+def test_call_edges_include_self_and_module_qualified(tmp_path):
+    (tmp_path / "helpers.py").write_text(textwrap.dedent("""
+        def finish(req):
+            yield from req.wait()
+    """))
+    (tmp_path / "main.py").write_text(textwrap.dedent("""
+        import helpers
+
+        class Worker:
+            def _step(self):
+                return 1
+
+            def run(self, comm, req):
+                self._step()
+                yield from helpers.finish(req)
+    """))
+    sources = [(str(p), p.read_text())
+               for p in sorted(tmp_path.glob("*.py"))]
+    project = Project(sources)
+    edges = project.call_edges()
+    main, helpers = str(tmp_path / "main.py"), str(tmp_path / "helpers.py")
+    assert (main, "Worker.run") in project.function_refs()
+    assert set(edges[(main, "Worker.run")]) == {
+        (main, "Worker._step"), (helpers, "finish")}
+
+
+def test_self_method_wait_is_clean():
+    assert rules_of("""
+        class Worker:
+            def _finish(self, req):
+                yield from req.wait()
+
+            def run(self, comm, data):
+                req = yield from comm.isend(data, 1)
+                yield from self._finish(req)
+    """) == []
+
+
+def test_self_method_that_does_not_wait_flags_req101():
+    assert rules_of("""
+        class Worker:
+            def _log(self, req):
+                print(req)
+
+            def run(self, comm, data):
+                req = yield from comm.isend(data, 1)
+                yield from self._log(req)
+    """) == ["REQ101"]
+
+
+def test_ambiguous_self_method_falls_back_to_escape():
+    # two classes define _finish: no "self._finish" key is published, so
+    # the call is an unknown callee and the request conservatively
+    # escapes -- no REQ101 false positive either way
+    assert rules_of("""
+        class A:
+            def _finish(self, req):
+                yield from req.wait()
+
+        class B:
+            def _finish(self, req):
+                print(req)
+
+            def run(self, comm, data):
+                req = yield from comm.isend(data, 1)
+                yield from self._finish(req)
+    """) == []
+
+
+def test_self_method_returning_request_hands_off_obligation():
+    assert rules_of("""
+        class Chan:
+            def _post(self, comm, data):
+                req = comm.irecv(data, 1)
+                return req
+
+            def drain(self, comm, data):
+                req = self._post(comm, data)
+    """) == ["REQ101"]
+    assert rules_of("""
+        class Chan:
+            def _post(self, comm, data):
+                req = comm.irecv(data, 1)
+                return req
+
+            def drain(self, comm, data):
+                req = self._post(comm, data)
+                yield from req.wait()
+    """) == []
+
+
+def test_self_collective_helper_flags_spmd101():
+    assert rules_of("""
+        class Solver:
+            def _sync(self, comm):
+                yield from comm.barrier()
+
+            def step(self, comm):
+                if comm.rank == 0:
+                    yield from self._sync(comm)
+    """) == ["SPMD101"]
+
+
+def test_self_collective_matched_on_other_path_is_clean():
+    # the matched-collectives exemption sees through self-helper calls:
+    # both sides perform the same (helper) collective
+    assert rules_of("""
+        class Solver:
+            def _sync(self, comm):
+                yield from comm.barrier()
+
+            def step(self, comm):
+                if comm.rank == 0:
+                    yield from self._sync(comm)
+                else:
+                    yield from self._sync(comm)
+    """) == []
+
+
+def test_module_qualified_wait_resolves_cross_file():
+    assert tree_rules_of({
+        "pkg/helpers.py": """
+            def finish(req):
+                yield from req.wait()
+        """,
+        "pkg/main.py": """
+            from pkg import helpers
+
+            def go(comm, data):
+                req = yield from comm.isend(data, 1)
+                yield from helpers.finish(req)
+        """,
+    }) == []
+
+
+def test_import_alias_qualified_wait_resolves_cross_file():
+    assert tree_rules_of({
+        "pkg/helpers.py": """
+            def finish(req):
+                yield from req.wait()
+        """,
+        "pkg/main.py": """
+            import pkg.helpers as h
+
+            def go(comm, data):
+                req = yield from comm.isend(data, 1)
+                yield from h.finish(req)
+        """,
+    }) == []
+
+
+def test_module_qualified_nonwaiting_helper_flags_req101():
+    assert tree_rules_of({
+        "pkg/helpers.py": """
+            def log(req):
+                print(req)
+        """,
+        "pkg/main.py": """
+            from pkg import helpers
+
+            def go(comm, data):
+                req = yield from comm.isend(data, 1)
+                yield from helpers.log(req)
+        """,
+    }) == [("pkg/main.py", "REQ101")]
+
+
+def test_module_qualified_tainted_return_flags_spmd101():
+    assert tree_rules_of({
+        "pkg/util.py": """
+            def is_root(comm):
+                return comm.rank == 0
+        """,
+        "pkg/main.py": """
+            from pkg import util
+
+            def step(comm):
+                if util.is_root(comm):
+                    yield from comm.barrier()
+        """,
+    }) == [("pkg/main.py", "SPMD101")]
+
+
+def test_self_wait_offset_maps_past_the_self_parameter():
+    # the waited parameter of Worker._finish is index 1 (after self);
+    # call-site argument 0 must land on it, not on index 0
+    project = Project([("m.py", textwrap.dedent("""
+        class Worker:
+            def _finish(self, req):
+                yield from req.wait()
+    """))])
+    env = module_envs(project, compute_summaries(project))["m.py"]
+    assert env["self._finish"].waits_params == {1}
+
+
 # -- suppressions on decorated functions + LNT007 -----------------------------
 
 def test_suppression_above_decorator_covers_the_def():
