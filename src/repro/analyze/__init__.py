@@ -1,6 +1,6 @@
 """MUST-style MPI correctness analyzer for the simulated stack.
 
-Four layers, one finding currency (:class:`Finding` / :class:`Report`):
+Five layers, one finding currency (:class:`Finding` / :class:`Report`):
 
 ``repro.analyze.signatures``
     Static datatype analysis built on typemap flattening: send/receive
@@ -22,10 +22,19 @@ Four layers, one finding currency (:class:`Finding` / :class:`Report`):
     use-after-isend (BUF1xx), SPMD rank divergence (SPMD1xx) and static
     communication-plan extraction (PLAN1xx).
 
+``repro.analyze.protocol``
+    Cross-rank protocol verification: each function is abstractly
+    executed per model rank (world sizes 2/3/4), the per-rank traces are
+    joined into a static match graph (:mod:`repro.analyze.matchgraph`),
+    and unmatched envelopes, deterministic deadlocks, collective
+    divergence and signature-incompatible matched pairs are proved
+    statically (MTC101-MTC105).
+
 Shell entry point::
 
     python -m repro.analyze --lint src
     python -m repro.analyze --dataflow src examples
+    python -m repro.analyze --protocol src examples
     python -m repro.analyze --dataflow --format sarif -o out.sarif src
     python -m repro.analyze --run examples/ghost_exchange_2d.py
 
@@ -37,12 +46,16 @@ The rule catalogue is documented in ``docs/ANALYZE.md``.
 from repro.analyze.findings import RULES, SEVERITIES, Finding, Report
 from repro.analyze.lint import lint_file, lint_paths, lint_source
 from repro.analyze.runtime import RuntimeVerifier
+from repro.analyze.matchgraph import check_collectives, match_p2p, verify_world
+from repro.analyze.protocol import check_module as check_protocol
 from repro.analyze.signatures import (
+    TransferVerdict,
     check_datatype,
     check_transfer,
     full_signature,
     render_signature,
     signature_prefix,
+    transfer_verdict,
 )
 from repro.analyze.suppress import Suppressions, collect_suppressions
 
@@ -53,13 +66,19 @@ __all__ = [
     "Report",
     "RuntimeVerifier",
     "Suppressions",
+    "TransferVerdict",
+    "check_collectives",
     "check_datatype",
+    "check_protocol",
     "check_transfer",
     "collect_suppressions",
     "full_signature",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "match_p2p",
     "render_signature",
     "signature_prefix",
+    "transfer_verdict",
+    "verify_world",
 ]

@@ -11,6 +11,14 @@ Modes (combinable):
     lifetime, BUF1xx buffer aliasing, SPMD1xx rank divergence, PLAN1xx
     static communication plans).
 
+``python -m repro.analyze --protocol src examples``
+    Additionally run the cross-rank protocol verifier (MTC10x): every
+    uncalled top-level function taking a communicator is abstractly
+    executed under small model worlds and its per-rank traces joined
+    in a static match graph (unmatched sends/receives, deterministic
+    deadlocks, collective divergence, signature/truncation mismatch at
+    matched endpoints).  Combinable with ``--dataflow``.
+
 ``python -m repro.analyze examples/ghost_exchange_2d.py``
     Same as ``--lint`` for the named script (scripts are linted by
     default).
@@ -105,6 +113,12 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--dataflow", action="store_true",
                         help="run the CFG/fixpoint dataflow passes "
                              "(REQ1xx/BUF1xx/SPMD1xx/PLAN1xx)")
+    parser.add_argument("--protocol", action="store_true",
+                        help="run the cross-rank protocol verifier "
+                             "(MTC10x match-graph rules)")
+    parser.add_argument("--protocol-stats", action="store_true",
+                        help="with --protocol: print what was verified "
+                             "and where extraction bailed")
     parser.add_argument("--run", action="store_true",
                         help="also execute the given script(s) under a "
                              "runtime verifier")
@@ -159,11 +173,15 @@ def main(argv: List[str] | None = None) -> int:
 
     report = Report()
     plans: list = []
+    protocol_stats: list = []
     try:
-        if args.dataflow:
+        if args.dataflow or args.protocol:
             from repro.analyze.dataflow import analyze_tree
 
-            analyze_tree(args.paths, report, plans, dataflow=True)
+            analyze_tree(args.paths, report, plans,
+                         dataflow=args.dataflow,
+                         protocol=args.protocol,
+                         protocol_stats=protocol_stats)
         else:
             lint_paths(args.paths, report)
     except (FileNotFoundError, SyntaxError) as exc:
@@ -204,6 +222,18 @@ def main(argv: List[str] | None = None) -> int:
         show = (("error", "warning", "info") if args.show_info
                 else ("error", "warning"))
         print(report.render(show=show))
+        if args.protocol_stats and protocol_stats:
+            verified = [s for s in protocol_stats if s.verified_sizes]
+            print(f"-- protocol: {len(verified)}/{len(protocol_stats)} "
+                  "candidate function(s) verified under at least one "
+                  "model size:")
+            for stat in protocol_stats:
+                sizes = ",".join(str(s) for s in stat.verified_sizes) or "-"
+                line = f"{stat.path}: {stat.func}() sizes=[{sizes}]"
+                if stat.bailed:
+                    size, reason = stat.bailed[0]
+                    line += f" bailed@{size}: {reason}"
+                print(line)
         if args.show_plans and plans:
             print(f"-- {len(plans)} static communication plan(s):")
             for plan in plans:

@@ -87,19 +87,25 @@ def analyze_source(
     path: str = "<string>",
     report: Optional[Report] = None,
     plans: Optional[List[_plans.CommunicationPlan]] = None,
+    protocol: bool = False,
 ) -> Report:
     """Run every dataflow pass over one module's source text.
 
     Appends to ``report``/``plans`` when given (mirroring
     :func:`repro.analyze.lint.lint_source`); suppression comments are
-    applied before findings reach the caller's report.
+    applied before findings reach the caller's report.  ``protocol``
+    additionally runs the cross-rank protocol verifier (MTC10x).
     """
     report = report if report is not None else Report()
     tree = ast.parse(source, filename=path)
     suppressions = collect_suppressions(source, tree)
     local = Report()
-    _run_dataflow(tree, path, local, plans,
-                  _single_module_env(path, source, tree))
+    env = _single_module_env(path, source, tree)
+    _run_dataflow(tree, path, local, plans, env)
+    if protocol:
+        from repro.analyze import protocol as _protocol
+
+        _protocol.check_module(tree, path, local, env)
     report.extend(apply_suppressions(local, suppressions))
     return report
 
@@ -108,16 +114,18 @@ def analyze_file(
     path: Union[str, Path],
     report: Optional[Report] = None,
     plans: Optional[List[_plans.CommunicationPlan]] = None,
+    protocol: bool = False,
 ) -> Report:
     path = Path(path)
     return analyze_source(path.read_text(encoding="utf-8"), str(path),
-                          report, plans)
+                          report, plans, protocol)
 
 
 def analyze_paths(
     paths: Iterable[Union[str, Path]],
     report: Optional[Report] = None,
     plans: Optional[List[_plans.CommunicationPlan]] = None,
+    protocol: bool = False,
 ) -> Tuple[Report, List[_plans.CommunicationPlan]]:
     """Dataflow-analyze every ``.py`` file under ``paths`` as one
     project (cross-file summaries resolve through imports)."""
@@ -133,6 +141,11 @@ def analyze_paths(
         local = Report()
         _run_dataflow(project.modules[path].tree, path, local, plans,
                       envs.get(path, {}))
+        if protocol:
+            from repro.analyze import protocol as _protocol
+
+            _protocol.check_module(project.modules[path].tree, path, local,
+                                   envs.get(path, {}))
         report.extend(apply_suppressions(local, suppressions))
     return report, plans
 
@@ -140,7 +153,8 @@ def analyze_paths(
 # -- combined lint + dataflow entry ------------------------------------------
 
 
-def _unused_suppression_eligible(code: str, dataflow: bool) -> bool:
+def _unused_suppression_eligible(code: str, dataflow: bool,
+                                 protocol: bool = False) -> bool:
     """Whether an unmatched suppression for ``code`` is worth flagging:
     only when the pass family that could have matched it actually ran
     (unknown codes are always flagged -- they match nothing, ever)."""
@@ -152,13 +166,16 @@ def _unused_suppression_eligible(code: str, dataflow: bool) -> bool:
         return False
     if code.startswith("LNT"):
         return True  # the lint pass always runs in analyze_tree
+    if code.startswith("MTC"):
+        return protocol  # the cross-rank verifier is opt-in
     return dataflow  # REQ1xx / BUF1xx / SPMD1xx / PLAN1xx
 
 
 def _report_unused_suppressions(suppressions: Suppressions, path: str,
-                                report: Report, dataflow: bool) -> None:
+                                report: Report, dataflow: bool,
+                                protocol: bool = False) -> None:
     for line, code in suppressions.unused_sites():
-        if not _unused_suppression_eligible(code, dataflow):
+        if not _unused_suppression_eligible(code, dataflow, protocol):
             continue
         report.add(
             "LNT007",
@@ -174,13 +191,16 @@ def analyze_tree(
     report: Optional[Report] = None,
     plans: Optional[List[_plans.CommunicationPlan]] = None,
     dataflow: bool = True,
+    protocol: bool = False,
+    protocol_stats: Optional[list] = None,
 ) -> Tuple[Report, List[_plans.CommunicationPlan]]:
     """Lint + (optionally) dataflow-analyze a file set as one project,
     with a single suppression index per file shared by both passes, and
     LNT007 findings for suppressions that matched nothing."""
     sources = [(str(p), Path(p).read_text(encoding="utf-8"))
                for p in iter_python_files(paths)]
-    return analyze_source_set(sources, report, plans, dataflow)
+    return analyze_source_set(sources, report, plans, dataflow, protocol,
+                              protocol_stats)
 
 
 def analyze_source_set(
@@ -188,6 +208,8 @@ def analyze_source_set(
     report: Optional[Report] = None,
     plans: Optional[List[_plans.CommunicationPlan]] = None,
     dataflow: bool = True,
+    protocol: bool = False,
+    protocol_stats: Optional[list] = None,
 ) -> Tuple[Report, List[_plans.CommunicationPlan]]:
     """:func:`analyze_tree` over in-memory ``(path, text)`` pairs -- the
     entry the ``--fix`` rewriter iterates without touching disk."""
@@ -196,7 +218,7 @@ def analyze_source_set(
     report = report if report is not None else Report()
     plans = plans if plans is not None else []
     envs: Dict[str, Dict[str, CallSummary]] = {}
-    if dataflow:
+    if dataflow or protocol:
         project = Project(sources)
         envs = module_envs(project, compute_summaries(project))
         trees = {path: project.modules[path].tree for path, _ in sources}
@@ -210,7 +232,13 @@ def analyze_source_set(
         _Linter(path, local).visit(tree)
         if dataflow:
             _run_dataflow(tree, path, local, plans, envs.get(path, {}))
+        if protocol:
+            from repro.analyze import protocol as _protocol
+
+            _protocol.check_module(tree, path, local, envs.get(path, {}),
+                                   stats=protocol_stats)
         filtered = apply_suppressions(local, suppressions)
-        _report_unused_suppressions(suppressions, path, filtered, dataflow)
+        _report_unused_suppressions(suppressions, path, filtered, dataflow,
+                                    protocol)
         report.extend(filtered)
     return report, plans

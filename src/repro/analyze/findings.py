@@ -63,6 +63,19 @@ RULES = {
     "PLAN103": ("warning", "statically low-density datatype at a "
                            "communication call site (section 4.1 "
                            "pack-slower-than-copy cost model)"),
+    # -- cross-rank protocol verification (repro.analyze.protocol) ----------
+    "MTC101": ("error", "unmatched send: no feasible receive on any rank "
+                        "under the model worlds"),
+    "MTC102": ("error", "unmatched receive: no feasible send on any rank "
+                        "under the model worlds"),
+    "MTC103": ("error", "deterministic deadlock: blocking cycle in the "
+                        "static wait-for graph (static twin of DLK001)"),
+    "MTC104": ("error", "collective sequence divergence across ranks "
+                        "(static twin of COL001/COL002, cross-rank "
+                        "strengthening of SPMD101)"),
+    "MTC105": ("error", "matched send/receive have incompatible signatures "
+                        "or the receive buffer is too small (static "
+                        "prefix-rule + truncation check)"),
     # -- project lint (repro.analyze.lint) ----------------------------------
     "LNT001": ("error", "bare 'except:' swallows SystemExit/KeyboardInterrupt"),
     "LNT002": ("warning", "datatype re-flattened/re-packed inside a loop "

@@ -20,6 +20,7 @@ False
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -82,6 +83,51 @@ def render_signature(sig: TypeSignature, limit: int = 6) -> str:
     return " ".join(parts) or "(empty)"
 
 
+@dataclass(frozen=True)
+class TransferVerdict:
+    """The complete static verdict on one send/receive endpoint pair.
+
+    This is the single source of truth for signature compatibility: both
+    :func:`check_transfer` (SIG001/SIG002, per-call-site) and the
+    cross-rank protocol verifier's MTC105 (per-matched-edge) consume it,
+    so the symbolic and concrete paths cannot drift.
+    """
+
+    send_sig: TypeSignature
+    recv_sig: TypeSignature
+    send_bytes: int
+    recv_bytes: int
+    prefix_ok: bool
+
+    @property
+    def truncates(self) -> bool:
+        return self.send_bytes > self.recv_bytes
+
+    @property
+    def ok(self) -> bool:
+        return self.prefix_ok and not self.truncates
+
+
+def transfer_verdict(
+    send_type: Datatype,
+    send_count: int,
+    recv_type: Datatype,
+    recv_count: int,
+) -> TransferVerdict:
+    """Evaluate MPI-3.0 section 3.3.1 for one send/receive pair: the send
+    signature must be a prefix of the receive signature, and the send's
+    data volume must fit the receive's capacity."""
+    send_sig = full_signature(send_type, send_count)
+    recv_sig = full_signature(recv_type, recv_count)
+    return TransferVerdict(
+        send_sig=send_sig,
+        recv_sig=recv_sig,
+        send_bytes=send_type.size * send_count,
+        recv_bytes=recv_type.size * recv_count,
+        prefix_ok=signature_prefix(send_sig, recv_sig),
+    )
+
+
 def check_transfer(
     send_type: Datatype,
     send_count: int,
@@ -92,22 +138,20 @@ def check_transfer(
 ) -> Report:
     """Static compatibility check of a send/receive pair (SIG001, SIG002)."""
     report = report if report is not None else Report()
-    send_sig = full_signature(send_type, send_count)
-    recv_sig = full_signature(recv_type, recv_count)
-    send_bytes = send_type.size * send_count
-    recv_bytes = recv_type.size * recv_count
-    if send_bytes > recv_bytes:
+    verdict = transfer_verdict(send_type, send_count, recv_type, recv_count)
+    if verdict.truncates:
         report.add(
             "SIG002",
-            f"send is {send_bytes} bytes but the receive holds only "
-            f"{recv_bytes}",
+            f"send is {verdict.send_bytes} bytes but the receive holds only "
+            f"{verdict.recv_bytes}",
             location=location,
         )
-    if not signature_prefix(send_sig, recv_sig):
+    if not verdict.prefix_ok:
         report.add(
             "SIG001",
-            f"send signature [{render_signature(send_sig)}] is not a prefix "
-            f"of receive signature [{render_signature(recv_sig)}]",
+            f"send signature [{render_signature(verdict.send_sig)}] is not "
+            f"a prefix of receive signature "
+            f"[{render_signature(verdict.recv_sig)}]",
             location=location,
         )
     return report

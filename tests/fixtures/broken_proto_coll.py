@@ -1,0 +1,24 @@
+"""Intentionally broken fixture: collective divergence (MTC104).
+
+Parsed (never executed) by ``tests/test_analyze_protocol.py``; see
+``broken_req.py`` for why this directory is excluded from tree scans.
+
+Expected: MTC104 -- every rank reaches a ``bcast``, but they disagree
+on the root argument (rank 0 nominates itself, everyone else nominates
+rank 1), which strands both groups in different collective instances.
+SPMD101 cannot see this: each branch *does* contain a collective.
+"""
+
+import numpy as np
+
+
+def root_divergent_bcast(comm):
+    """Ranks disagree about who broadcasts."""
+    value = np.zeros(1, dtype=np.float64)
+    if comm.rank == 0:
+        # analyze: ignore[SPMD101] -- both branches do call a collective
+        yield from comm.bcast(value, root=0)
+    else:
+        # analyze: ignore[SPMD101]
+        yield from comm.bcast(None, root=1)
+    return value

@@ -1,0 +1,24 @@
+"""Intentionally broken fixture: deterministic deadlock (MTC103).
+
+Parsed (never executed) by ``tests/test_analyze_protocol.py``; see
+``broken_req.py`` for why this directory is excluded from tree scans.
+
+Expected: MTC103 -- every rank issues a blocking send around the ring
+before posting its receive.  Under rendezvous semantics no send can
+complete until its matching receive is posted, and no receive is ever
+posted: the classic head-to-head send/send cycle, at every world size.
+"""
+
+import numpy as np
+
+
+def ring_shift_send_first(comm):
+    """Blocking send to the right neighbour, *then* receive from the
+    left one -- a wait-for cycle covering every rank."""
+    outgoing = np.zeros(4, dtype=np.float64)
+    incoming = np.zeros(4, dtype=np.float64)
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    yield from comm.send(outgoing, right)
+    yield from comm.recv(incoming, source=left)
+    return incoming

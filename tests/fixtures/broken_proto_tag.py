@@ -1,0 +1,24 @@
+"""Intentionally broken fixture: tag mismatch (MTC101 + MTC102).
+
+Parsed (never executed) by ``tests/test_analyze_protocol.py``; see
+``broken_req.py`` for why this directory is excluded from tree scans.
+
+Expected: MTC101 (the tag-3 send matches no receive envelope) and
+MTC102 (the tag-7 receive accepts no posted send) -- the two halves of
+one disagreement about the message tag.
+"""
+
+import numpy as np
+
+PING_TAG = 3
+PONG_TAG = 7
+
+
+def tag_disagreement(comm):
+    """Rank 0 sends with PING_TAG but rank 1 listens on PONG_TAG."""
+    payload = np.arange(8, dtype=np.float64)
+    if comm.rank == 0:
+        yield from comm.send(payload, 1, tag=PING_TAG)
+    elif comm.rank == 1:
+        inbox = np.zeros(8, dtype=np.float64)
+        yield from comm.recv(inbox, source=0, tag=PONG_TAG)

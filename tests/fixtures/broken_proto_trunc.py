@@ -1,0 +1,39 @@
+"""Intentionally broken fixture: signature/truncation mismatch (MTC105).
+
+Parsed (never executed) by ``tests/test_analyze_protocol.py``; see
+``broken_req.py`` for why this directory is excluded from tree scans.
+
+Expected: MTC105 three times --
+
+- ``truncating_receive``: the send is longer than the receive both in
+  bytes (truncation) and in signature (DOUBLE*16 is not a prefix of
+  DOUBLE*8);
+- ``short_receive_buffer``: the endpoints' signatures agree, but the
+  receive buffer cannot hold one copy of its sparse Vector datatype
+  (buffer-extent insufficiency).
+"""
+
+import numpy as np
+
+from repro.datatypes import DOUBLE, Vector
+
+
+def truncating_receive(comm):
+    """Rank 0 sends 16 doubles into an 8-double receive."""
+    if comm.rank == 0:
+        big = np.zeros(16, dtype=np.float64)
+        yield from comm.send(big, 1)
+    elif comm.rank == 1:
+        small = np.zeros(8, dtype=np.float64)
+        yield from comm.recv(small, source=0)
+
+
+def short_receive_buffer(comm):
+    """The strided Vector reaches 200 bytes into a 64-byte buffer."""
+    if comm.rank == 0:
+        payload = np.zeros(4, dtype=np.float64)
+        yield from comm.send(payload, 1, datatype=DOUBLE, count=4)
+    elif comm.rank == 1:
+        sparse = Vector(4, 1, 8, DOUBLE)
+        undersized = np.zeros(8, dtype=np.float64)
+        yield from comm.recv(undersized, source=0, datatype=sparse, count=1)

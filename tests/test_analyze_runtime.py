@@ -37,7 +37,7 @@ def broken_signature_mismatch(comm):
         yield from comm.send(np.arange(4, dtype=np.float64), 1)
     else:
         buf = np.zeros(8, dtype=np.int32)
-        yield from comm.recv(buf, 0)
+        yield from comm.recv(buf, 0)  # analyze: ignore[MTC105]
 
 
 def test_fixture_signature_mismatch_fires_sig001_once():
@@ -55,7 +55,7 @@ def broken_deadlock_cycle(comm):
     blocking-receive deadlock."""
     buf = np.zeros(4, dtype=np.float64)
     other = 1 - comm.rank
-    yield from comm.recv(buf, other)
+    yield from comm.recv(buf, other)  # analyze: ignore[MTC103]
     yield from comm.send(buf, other)
 
 
@@ -164,7 +164,7 @@ def broken_mismatched_collective(comm):
     if comm.rank == 0:
         yield from comm.bcast(buf, root=0)  # analyze: ignore[SPMD101]
     else:
-        yield from comm.barrier()  # analyze: ignore[SPMD101]
+        yield from comm.barrier()  # analyze: ignore[SPMD101,MTC104]
 
 
 def test_fixture_mismatched_collective_fires_col001_once():
