@@ -185,7 +185,7 @@ COLLECTIVE_METHODS = frozenset({
     # *intended* use of communicator splitting
     "barrier", "bcast", "allreduce", "gather_obj", "reduce",
     "allreduce_array", "scan", "gatherv", "scatterv", "allgather",
-    "alltoall", "allgatherv", "alltoallw",
+    "alltoall", "allgatherv", "alltoallw", "sparse_alltoall",
 })
 
 #: attribute names of blocking point-to-point / completion operations

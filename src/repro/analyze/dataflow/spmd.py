@@ -11,7 +11,7 @@ Taint seeding and propagation are flow-insensitive within one function:
 from an expression using a tainted value becomes tainted (iterated to a
 fixpoint so ``r = comm.rank; is_root = r == 0; if is_root:`` is caught).
 
-Two idioms are recognised and exempted rather than flagged:
+Three idioms are recognised and exempted rather than flagged:
 
 - **matched collectives**: when the *other* execution path of a
   rank-tainted branch performs the same collective method, every rank
@@ -24,6 +24,12 @@ Two idioms are recognised and exempted rather than flagged:
   that is itself rank-tainted (``sub = yield from comm.split(...)``)
   is scoped to the ranks that hold it; membership divergence there is
   the *point* of ``split`` and is checked at runtime (COL001), not here.
+- **agreement results**: a name assigned only from an agreement
+  collective (``flagged = yield from comm.allreduce(local_problem, ...)``)
+  holds the same value on every rank even when the argument is
+  rank-derived -- branching on it is lockstep by construction.  This is
+  the validation idiom of :meth:`VecScatter.from_needed_indices` and the
+  plan-reuse guard in :meth:`Vec.assemble`.
 
 Rules:
 
@@ -52,6 +58,15 @@ from repro.analyze.findings import Report
 #: attribute names whose load seeds rank taint
 RANK_ATTRS = frozenset({"rank", "grank"})
 
+#: collectives whose return value is identical on every participating
+#: rank by construction -- agreement steps.  A name assigned *only* from
+#: such calls is rank-uniform even when the call's argument is
+#: rank-derived: ``flagged = yield from comm.allreduce(problem is not
+#: None, op=or_)`` reduces per-rank state into one common decision, which
+#: is precisely the lockstep-validation / plan-reuse-guard idiom --
+#: branching on it exits every rank together, so it must not carry taint.
+UNIFORM_RESULT_COLLECTIVES = frozenset({"allreduce", "bcast", "allgather"})
+
 
 def _expr_tainted(expr: ast.AST, tainted: Set[str],
                   summaries: Optional[Dict[str, CallSummary]] = None) -> bool:
@@ -71,13 +86,27 @@ def _expr_tainted(expr: ast.AST, tainted: Set[str],
     return False
 
 
+def _agreement_result(expr: ast.AST) -> bool:
+    """Is ``expr`` (an assignment's value) a direct call of an
+    agreement collective -- ``comm.allreduce(...)``, possibly behind
+    ``yield from`` / ``await``?"""
+    node = expr
+    while isinstance(node, (ast.Await, ast.YieldFrom)):
+        node = node.value
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in UNIFORM_RESULT_COLLECTIVES)
+
+
 def tainted_names(func: ast.AST,
                   summaries: Optional[Dict[str, CallSummary]] = None,
                   ) -> Set[str]:
     """Names carrying rank-derived values anywhere in ``func`` (fixpoint
     over simple assignments; augmented assignments taint their target).
     With ``summaries``, calls to helpers whose return value is
-    rank-derived also seed taint."""
+    rank-derived also seed taint.  Names whose *every* assignment is an
+    agreement-collective result (:data:`UNIFORM_RESULT_COLLECTIVES`) are
+    laundered: the value is rank-uniform regardless of the argument."""
     tainted: Set[str] = set()
     assigns: List[Tuple[Set[str], ast.AST]] = []
     for node in ast.walk(func):
@@ -97,10 +126,19 @@ def tainted_names(func: ast.AST,
         elif isinstance(node, ast.NamedExpr) and isinstance(
                 node.target, ast.Name):
             assigns.append(({node.target.id}, node.value))
+    uniform: Set[str] = set()
+    rebound: Set[str] = set()
+    for names, value in assigns:
+        if _agreement_result(value):
+            uniform |= names
+        else:
+            rebound |= names
+    laundered = uniform - rebound
     changed = True
     while changed:
         changed = False
         for names, value in assigns:
+            names = names - laundered
             if names - tainted and _expr_tainted(value, tainted, summaries):
                 tainted |= names
                 changed = True

@@ -40,6 +40,7 @@ BLOCKING_GENERATOR_METHODS = frozenset({
     "barrier", "bcast", "allreduce", "gather_obj", "split",
     "reduce", "allreduce_array", "scan",
     "gatherv", "scatterv", "allgather", "alltoall", "allgatherv", "alltoallw",
+    "sparse_alltoall",
     "wait", "waitall", "waitany",
     "cpu", "compute",
     "global_to_local", "local_to_global",
@@ -56,6 +57,7 @@ ALGORITHM_IMPL_NAMES = frozenset({
     "_allreduce_recursive_doubling", "_gather_obj_linear",
     "_gatherv_linear", "_scatterv_linear", "_alltoall_pairwise",
     "_reduce_binomial", "_allreduce_rd_array", "_scan_doubling",
+    "_sparse_dense", "_nbx", "_nbx_binned",
 })
 
 #: path fragments exempt from LNT006 (the algorithm subsystem itself)

@@ -87,6 +87,11 @@ def _parse(argv: list[str]) -> argparse.Namespace:
                         help="disable the datatype-IR optimization passes "
                              "(guideline-gate self-test aid; the suite "
                              "must then FAIL)")
+    parser.add_argument("--assembly", action="store_true",
+                        help="run the repeated-sparse-assembly figure "
+                             "(dense vs NBX discovery vs cached plan) and "
+                             "exit 1 unless plan reuse is byte-identical "
+                             "and strictly cheaper on the wire")
     parser.add_argument("--autotune", action="store_true",
                         help="train a tuning table in the simulator and "
                              "assert it ties-or-beats the fixed configs")
@@ -153,6 +158,24 @@ def _run_autotune(args: argparse.Namespace) -> int:
         table.save(args.tuning_out)
         print(f"tuning table ({len(table)} buckets) written to "
               f"{args.tuning_out}")
+        sparse_winners = {
+            entry.get("algorithm")
+            for key, entry in table.entries.items()
+            if key.startswith("sparse_alltoall|")
+        }
+        if not sparse_winners:
+            print("sparse_alltoall never entered the sweep -- the NBX "
+                  "algorithms are not participating in selection")
+            return 1
+        if not sparse_winners & {"nbx", "nbx_binned"}:
+            print("no NBX variant won any sparse_alltoall bucket "
+                  f"(winners: {sorted(sparse_winners)}) -- the consensus "
+                  "implementations are not competitive in their own sweep")
+            return 1
+        n_sparse = sum(1 for k in table.entries
+                       if k.startswith("sparse_alltoall|"))
+        print(f"sparse_alltoall trained {n_sparse} bucket(s); "
+              f"winners: {sorted(sparse_winners)}")
         if preseed_doc is not None:
             cold = count_warmup_runs(quick=args.quick)
             print(f"warmup simulations: {stats.warmup_runs} pre-seeded "
@@ -210,6 +233,81 @@ def _run_autotune(args: argparse.Namespace) -> int:
             print(f"  {problem}")
         return 1
     print("autotuned policy ties-or-beats both fixed configs on every row")
+    return 0
+
+
+def _run_assembly(args: argparse.Namespace) -> int:
+    """The repeated-assembly amortisation figure (CI gate)."""
+    from repro.apps.assembly_bench import run_assembly
+    from repro.bench import FigureData
+
+    t0 = time.time()
+    procs = (4, 8, 16) if args.quick else (4, 8, 16, 32)
+    # the plan's one-time fingerprint agreement amortises after ~4-5
+    # cached rounds; run well past break-even so the gate is meaningful
+    rounds = 8 if args.quick else 12
+    fig = FigureData(
+        name="assembly",
+        title=f"Repeated sparse Vec assembly x{rounds} "
+              "(latency s / wire messages)",
+        columns=["P", "dense (s)", "NBX (s)", "NBX+plan (s)",
+                 "dense msgs", "NBX msgs", "plan msgs"],
+        notes=["dense/NBX rediscover the pattern every round; NBX+plan "
+               "caches it (VEC_SUBSET_OFF_PROC_ENTRIES) after round 0"],
+    )
+    problems = []
+    for n in procs:
+        res = {s: run_assembly(n, s, rounds=rounds)
+               for s in ("dense", "nbx", "plan")}
+        fig.add_row(n, res["dense"].latency, res["nbx"].latency,
+                    res["plan"].latency, res["dense"].messages,
+                    res["nbx"].messages, res["plan"].messages)
+        if not (res["dense"].checksum == res["nbx"].checksum
+                == res["plan"].checksum):
+            problems.append(
+                f"P={n}: strategies disagree on the assembled vector "
+                f"(dense {res['dense'].checksum}, nbx {res['nbx'].checksum},"
+                f" plan {res['plan'].checksum})")
+        for other in ("dense", "nbx"):
+            if res["plan"].messages >= res[other].messages:
+                problems.append(
+                    f"P={n}: cached plan sent {res['plan'].messages} "
+                    f"message(s), not fewer than {other}'s "
+                    f"{res[other].messages}")
+    print_figure(fig)
+    print()
+
+    doc = {
+        "schema": "repro-bench/1",
+        "quick": args.quick,
+        "figures": {
+            fig.name: {
+                "title": fig.title,
+                "columns": fig.columns,
+                "rows": fig.rows,
+                "notes": fig.notes,
+            }
+        },
+    }
+    if args.emit_json:
+        with open(args.emit_json, "w") as fh:
+            json.dump(doc, fh, indent=1, default=str)
+        print(f"JSON report written to {args.emit_json}")
+    if args.trajectory:
+        from repro.bench.baseline import append_trajectory
+
+        n = append_trajectory(args.trajectory, doc,
+                              label=args.trajectory_label)
+        print(f"trajectory entry {n} appended to {args.trajectory}")
+
+    print(f"wall time: {time.time() - t0:.0f} s")
+    if problems:
+        print("ASSEMBLY GATE VIOLATION(S):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("plan reuse is byte-identical to rediscovery and strictly "
+          "cheaper on the wire at every size")
     return 0
 
 
@@ -281,6 +379,11 @@ def main(argv: list[str]) -> int:
             print("--guidelines does not take figure arguments")
             return 2
         return _run_guidelines(args)
+    if args.assembly:
+        if args.figures:
+            print("--assembly does not take figure arguments")
+            return 2
+        return _run_assembly(args)
     if args.no_ir_passes:
         print("--no-ir-passes requires --guidelines")
         return 2

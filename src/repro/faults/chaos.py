@@ -30,6 +30,16 @@ violated.  The scenarios and their invariants:
     populated ``blocked`` payload naming each stuck process and what it
     waits on -- the debugging affordance the rest of the harness (and any
     user hitting a real deadlock) relies on.
+
+``assembly_plan_disagree``
+    Cached-assembly-plan reuse (``VEC_SUBSET_OFF_PROC_ENTRIES``) with one
+    rank's stash growing beyond its recorded pattern.  **Invariant**:
+    with guards disabled the disagreement is the documented deterministic
+    deadlock (diagnosable ``blocked`` payload); with guards enabled the
+    plan-signature agreement converts it into a uniform
+    :class:`~repro.petsc.PlanMismatchError` on every rank; and in the
+    fault-free control, cached assembly stays byte-identical to plan-free
+    assembly while putting strictly fewer messages on the wire.
 """
 
 from __future__ import annotations
@@ -315,6 +325,108 @@ def _deadlock_diagnosis(seed: int, nprocs: int) -> Dict[str, float]:
     raise ChaosInvariantError("deadlocked program terminated cleanly")
 
 
+def _assembly_plan_disagree(seed: int, nprocs: int) -> Dict[str, float]:
+    """``VEC_SUBSET_OFF_PROC_ENTRIES`` reuse with ranks disagreeing.
+
+    One rank's stash pattern grows beyond its cached plan from round
+    ``1`` on while every other rank still conforms.  Unguarded reuse
+    then mixes cached point-to-point with fresh discovery -- the
+    documented PETSc deadlock.  Three invariants:
+
+    1. guards off: a deterministic :class:`SimulationDeadlock` whose
+       ``blocked`` payload names every stuck rank (never a wrong
+       answer),
+    2. guards on: the plan-signature agreement turns the same program
+       into a *uniform* :class:`PlanMismatchError` on **all** ranks,
+    3. fault-free control: cached assembly is byte-identical to
+       plan-free assembly and puts strictly fewer messages on the wire.
+    """
+    from repro.petsc import Layout, PlanMismatchError, Vec
+    from repro.prof import Profiler
+
+    n = nprocs
+    size_g = 4 * n
+    victim = 1 + seed % (n - 1)
+
+    def program(diverge: bool, guard: bool, rounds: int):
+        def main(comm):
+            lay = Layout(comm.size, size_g)
+            v = Vec(comm, lay)
+            v.set_option("subset_off_proc_entries", guard=guard)
+            chunk = size_g // comm.size
+            base = [((comm.rank + 1) % comm.size) * chunk]
+            for rnd in range(rounds):
+                tgt = list(base)
+                if diverge and comm.rank == victim and rnd >= 1:
+                    tgt.append(((comm.rank + 3) % comm.size) * chunk + 2)
+                v.set_values(np.asarray(tgt, dtype=np.int64),
+                             np.full(len(tgt), float(comm.rank + rnd)),
+                             mode="add")
+                yield from v.assemble()
+            return v.local.copy()
+        return main
+
+    # -- fault-free control: cached vs plan-free, byte-identical, fewer
+    # sends.  Six rounds: the guard agreement and the one-time pattern
+    # fingerprint cost messages too, and amortise after ~4 cached rounds.
+    control_rounds = 6
+    cached_cluster = Cluster(n, config=MPIConfig.optimized())
+    Profiler.attach(cached_cluster)
+    cached = cached_cluster.run(program(diverge=False, guard=True,
+                                        rounds=control_rounds))
+
+    def plain_main(comm):
+        lay = Layout(comm.size, size_g)
+        v = Vec(comm, lay)
+        chunk = size_g // comm.size
+        for rnd in range(control_rounds):
+            v.set_values(np.asarray([((comm.rank + 1) % comm.size) * chunk],
+                                    dtype=np.int64),
+                         np.asarray([float(comm.rank + rnd)]), mode="add")
+            yield from v.assemble()
+        return v.local.copy()
+
+    plain_cluster = Cluster(n, config=MPIConfig.optimized())
+    Profiler.attach(plain_cluster)
+    plain = plain_cluster.run(plain_main)
+    for rank, (a, b) in enumerate(zip(cached, plain)):
+        _require(np.array_equal(a, b),
+                 f"cached assembly diverged from plan-free on rank {rank}")
+    cached_msgs = cached_cluster.net.messages_on_wire
+    plain_msgs = plain_cluster.net.messages_on_wire
+    _require(cached_msgs < plain_msgs,
+             f"plan reuse did not reduce traffic: {cached_msgs} cached vs "
+             f"{plain_msgs} plan-free messages")
+
+    # -- guards on: uniform PlanMismatchError on every rank
+    guarded = Cluster(n, config=MPIConfig.optimized())
+    outcomes = guarded.run(program(diverge=True, guard=True, rounds=3),
+                           return_exceptions=True)
+    for rank, out in enumerate(outcomes):
+        _require(isinstance(out, PlanMismatchError),
+                 f"guarded rank {rank} got {out!r} instead of "
+                 "PlanMismatchError")
+
+    # -- guards off: the documented deadlock, with a diagnosable payload
+    unguarded = Cluster(n, config=MPIConfig.optimized())
+    try:
+        unguarded.run(program(diverge=True, guard=False, rounds=3),
+                      return_exceptions=True)
+    except SimulationDeadlock as exc:
+        _require(bool(exc.blocked),
+                 "unguarded disagreement deadlocked without a payload")
+        for name, wait in exc.blocked:
+            _require(bool(wait),
+                     f"process {name!r} blocked on an unnamed target")
+        return {
+            "messages_cached": float(cached_msgs),
+            "messages_plan_free": float(plain_msgs),
+            "blocked": float(len(exc.blocked)),
+        }
+    raise ChaosInvariantError(
+        "unguarded plan disagreement completed instead of deadlocking")
+
+
 SCENARIOS: Dict[str, Callable[[int, int], Dict[str, float]]] = {
     "fem_lossy": _fem_lossy,
     "agv_lossy": _agv_lossy,
@@ -322,6 +434,7 @@ SCENARIOS: Dict[str, Callable[[int, int], Dict[str, float]]] = {
     "crash_alltoallw": lambda s, n: _crash_collective(s, n, "alltoallw"),
     "checkpoint_restart": _checkpoint_restart,
     "deadlock_diagnosis": _deadlock_diagnosis,
+    "assembly_plan_disagree": _assembly_plan_disagree,
 }
 
 

@@ -70,6 +70,58 @@ def _alltoallw_scenarios(procs: Sequence[int]) -> List[Tuple[str, int, str]]:
     return out
 
 
+def _sparse_scenarios(procs: Sequence[int]) -> List[Tuple[str, int, str]]:
+    """(label, nprocs, pattern) grid for the NBX sparse exchange.
+
+    ``neighbour``: one medium message to the next rank (the assembly
+    halo); ``mixed``: a tiny and a large message to two peers, the shape
+    the binned variant reorders.  Both fold into the collective's single
+    rank-uniform bucket per size (``UNIFORM_BUCKET_COLLECTIVES``:
+    volume-derived keys could diverge across ranks), so the winner
+    reflects the mix.
+    """
+    out = []
+    for n in procs:
+        if n < 2:
+            continue
+        out.append(("neighbour", n, "neighbour"))
+        out.append(("mixed", n, "mixed"))
+    return out
+
+
+def _sparse_volumes(n: int, pattern: str) -> List[int]:
+    volumes = [0] * n
+    if pattern == "neighbour":
+        volumes[1 % n] = 64 * DOUBLE_BYTES
+    else:
+        volumes[1 % n] = 4 * DOUBLE_BYTES
+        volumes[(n - 1) % n] = 4096 * DOUBLE_BYTES
+    return volumes
+
+
+def _measure_sparse(n: int, pattern: str, algorithm: str,
+                    config: MPIConfig, cost: Optional[CostModel]) -> float:
+    from repro.mpi.comm import Cluster
+
+    cluster = Cluster(n, config=config, cost=cost, heterogeneous=False)
+
+    def main(comm):
+        if pattern == "neighbour":
+            payloads = {(comm.rank + 1) % n: np.full(64, float(comm.rank))}
+        else:
+            payloads = {
+                (comm.rank + 1) % n: np.full(4, float(comm.rank)),
+                (comm.rank - 1) % n: np.full(4096, float(comm.rank)),
+            }
+        payloads = {p: v for p, v in payloads.items() if p != comm.rank}
+        yield from comm.barrier()
+        start = comm.engine.now
+        yield from comm.sparse_alltoall(payloads, algorithm=algorithm)
+        return comm.engine.now - start
+
+    return float(np.mean(cluster.run(main)))
+
+
 def _measure_allgatherv(n: int, counts: Sequence[int], algorithm: str,
                         config: MPIConfig, cost: Optional[CostModel]) -> float:
     from repro.mpi.comm import Cluster
@@ -200,6 +252,25 @@ def autotune(quick: bool = False, cost: Optional[CostModel] = None,
             winner = min(latencies, key=latencies.get)
             print(f"  alltoallw  {label:>14} N={n:<3} -> {winner:<18} ({key})")
 
+    for label, n, pattern in _sparse_scenarios(procs):
+        stats.scenarios_total += 1
+        ctx = SelectionContext(collective="sparse_alltoall", size=n,
+                               volumes=tuple(_sparse_volumes(n, pattern)),
+                               dtype_size=DOUBLE_BYTES,
+                               config=config, cost=cost)
+        key = bucket_key(ctx)
+        if skip(key, "sparse    ", label, n):
+            continue
+        latencies = {}
+        for algorithm in REGISTRY.candidates("sparse_alltoall", ctx):
+            latencies[algorithm.name] = _measure_sparse(
+                n, pattern, algorithm.name, config, cost)
+            stats.warmup_runs += 1
+        table.record(key, latencies)
+        if verbose:
+            winner = min(latencies, key=latencies.get)
+            print(f"  sparse     {label:>14} N={n:<3} -> {winner:<18} ({key})")
+
     return table
 
 
@@ -231,6 +302,12 @@ def count_warmup_runs(quick: bool = False, cost: Optional[CostModel] = None,
                                volumes=tuple(volumes), dtype_size=DOUBLE_BYTES,
                                config=config, cost=cost)
         runs += len(REGISTRY.candidates("alltoallw", ctx))
+    for _label, n, pattern in _sparse_scenarios(procs):
+        ctx = SelectionContext(collective="sparse_alltoall", size=n,
+                               volumes=tuple(_sparse_volumes(n, pattern)),
+                               dtype_size=DOUBLE_BYTES,
+                               config=config, cost=cost)
+        runs += len(REGISTRY.candidates("sparse_alltoall", ctx))
     return runs
 
 

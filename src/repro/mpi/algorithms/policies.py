@@ -134,6 +134,24 @@ class SelectionPolicy:
         return Decision(ctx.collective, "ring", self.name,
                         reason="adaptive:uniform", detect_seconds=detect)
 
+    def _adaptive_sparse(self, ctx: SelectionContext) -> Decision:
+        """NBX-family choice for one sparse exchange.
+
+        The dense-vs-NBX boundary crosses wire protocols, so that call is
+        never made here (the caller already committed to NBX on
+        rank-uniform grounds); ``nbx`` vs ``nbx_binned`` interoperate on
+        the wire, so the binning choice may consult the local volume set.
+        """
+        threshold = ctx.cost.small_message_threshold if ctx.cost else 0
+        sizes = [v for v in ctx.volumes if v > 0]
+        mixed = bool(threshold and sizes
+                     and any(v < threshold for v in sizes)
+                     and any(v >= threshold for v in sizes))
+        if mixed:
+            return Decision(ctx.collective, "nbx_binned", self.name,
+                            reason="adaptive:mixed-sizes")
+        return Decision(ctx.collective, "nbx", self.name, reason="adaptive")
+
 
 class MpichPolicy(SelectionPolicy):
     """Today's baseline thresholds, everywhere."""
@@ -148,6 +166,10 @@ class MpichPolicy(SelectionPolicy):
             return self._mpich_allgatherv(ctx)
         if ctx.collective == "alltoallw":
             return Decision(ctx.collective, "round_robin", self.name,
+                            reason="mpich")
+        if ctx.collective == "sparse_alltoall":
+            # the pre-NBX protocol: a dense counts exchange on every call
+            return Decision(ctx.collective, "dense", self.name,
                             reason="mpich")
         return self._first_applicable(ctx)
 
@@ -176,6 +198,8 @@ class AdaptivePolicy(MpichPolicy):
         if ctx.collective == "alltoallw":
             return Decision(ctx.collective, "binned", self.name,
                             reason="adaptive")
+        if ctx.collective == "sparse_alltoall":
+            return self._adaptive_sparse(ctx)
         return self._first_applicable(ctx)
 
 
@@ -202,7 +226,7 @@ class FlagPolicy(SelectionPolicy):
         if ctx.collective == "allgatherv":
             delegate = (self._adaptive if self.config.adaptive_allgatherv
                         else self._mpich)
-        elif ctx.collective == "alltoallw":
+        elif ctx.collective in ("alltoallw", "sparse_alltoall"):
             delegate = (self._adaptive if self.config.binned_alltoallw
                         else self._mpich)
         else:

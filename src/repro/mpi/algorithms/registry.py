@@ -202,3 +202,4 @@ def _load_builtins() -> None:
     import repro.mpi.collectives.basic  # noqa: F401
     import repro.mpi.collectives.gather  # noqa: F401
     import repro.mpi.collectives.reduce  # noqa: F401
+    import repro.mpi.collectives.sparse  # noqa: F401

@@ -83,8 +83,19 @@ def total_bucket(total_bytes: int) -> int:
     return int(math.log2(total_bytes))
 
 
+#: collectives whose algorithm choice must be rank-uniform *without*
+#: communicating: their algorithms speak incompatible wire protocols
+#: (``sparse_alltoall``'s dense counts exchange vs NBX consensus), and the
+#: per-rank volume set differs on every rank -- a volume-derived bucket
+#: could send different ranks to different table entries and deadlock the
+#: exchange.  These collectives bucket on rank-uniform features only.
+UNIFORM_BUCKET_COLLECTIVES = frozenset({"sparse_alltoall"})
+
+
 def bucket_key(ctx: SelectionContext) -> str:
     """The table key one collective call falls into."""
+    if ctx.collective in UNIFORM_BUCKET_COLLECTIVES:
+        return f"{ctx.collective}|p{size_bucket(ctx.size)}|uniform"
     return (
         f"{ctx.collective}|p{size_bucket(ctx.size)}"
         f"|b{total_bucket(ctx.total_bytes)}|{volume_profile(ctx.volumes)}"

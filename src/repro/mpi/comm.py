@@ -1329,3 +1329,14 @@ class Comm:
             alltoall(self, sendbuf, recvbuf, count, datatype)
         )
         return result
+
+    def sparse_alltoall(self, payloads, algorithm: Optional[str] = None) -> Generator:
+        """Sparse dynamic exchange: send ``{dest rank: payload}``; which
+        ranks send to *me* is discovered by the algorithm (NBX consensus
+        or the dense counts exchange).  Returns ``{source rank: float64
+        array}`` of the received payloads."""
+        from repro.mpi.collectives.sparse import sparse_alltoall
+        result = yield from self._fail_fast(
+            sparse_alltoall(self, payloads, algorithm=algorithm)
+        )
+        return result

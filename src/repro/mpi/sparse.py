@@ -1,0 +1,13 @@
+"""Public API of the sparse dynamic data exchange.
+
+``sparse_alltoall`` is the communicator-level entry point (also available
+as :meth:`repro.mpi.comm.Comm.sparse_alltoall`, which adds the fail-fast
+failure semantics every collective carries); :func:`ibarrier` is the
+reusable nonblocking-consensus primitive NBX is built on.  The algorithm
+implementations, their registry entries and the wire-protocol contract
+live in :mod:`repro.mpi.collectives.sparse`.
+"""
+
+from repro.mpi.collectives.sparse import ibarrier, sparse_alltoall
+
+__all__ = ["ibarrier", "sparse_alltoall"]

@@ -19,7 +19,8 @@ Implements the abstractions the paper's evaluation exercises (section 2):
   application of section 5.5 builds on this).
 """
 
-from repro.petsc.vec import Layout, PETScError, Vec
+from repro.petsc.commplan import CommPlan
+from repro.petsc.vec import Layout, PETScError, PlanMismatchError, Vec
 from repro.petsc.indexset import IS, BlockIS, GeneralIS, StrideIS
 from repro.petsc.scatter import VecScatter
 from repro.petsc.dmda import DMDA
@@ -38,6 +39,7 @@ __all__ = [
     "BlockJacobiPC",
     "CG",
     "Chebyshev",
+    "CommPlan",
     "DMDA",
     "GMRES",
     "IS",
@@ -50,6 +52,7 @@ __all__ = [
     "NewtonKrylov",
     "Operator",
     "PETScError",
+    "PlanMismatchError",
     "Richardson",
     "SNESResult",
     "SolveResult",

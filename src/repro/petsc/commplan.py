@@ -1,0 +1,123 @@
+"""Cached assembly communication plans (``VEC_SUBSET_OFF_PROC_ENTRIES``).
+
+A :class:`CommPlan` records the communication pattern one
+``Vec.assemble`` discovered -- which global indices this rank sends to
+each owner, and how many pairs it receives from each source -- so that
+repeated assemblies over the same (or a subset of the same) pattern can
+skip discovery entirely and go straight to point-to-point transfers,
+PETSc's ``VEC_SUBSET_OFF_PROC_ENTRIES`` optimisation (SNIPPETS.md ex49).
+
+The contract is a *promise*: every rank asserts its future stashes stay
+within the recorded pattern.  Under ``add`` mode a strict subset is fine
+-- the cached exchange ships the full pattern with zeros for absent
+entries, so receive counts never change.  Under ``insert`` mode the
+pattern must match exactly (absent entries have no insertable value).
+When ranks disagree about the promise -- one rank's pattern changed while
+another's did not -- the unguarded reuse path deadlocks, exactly as
+PETSc documents; the guarded path (:meth:`repro.petsc.vec.Vec.assemble`)
+detects the disagreement with one agree-style reduction and fails
+uniformly instead.
+
+This module is pure bookkeeping (no communication, no imports from
+:mod:`repro.petsc.vec`); the Vec owns the protocol.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+def plan_signature(mode: str, send_indices: Dict[int, np.ndarray]) -> int:
+    """CRC32 of this rank's send pattern (mode, peers, index lists).
+
+    Rank-local; the Vec folds the per-rank values into one global
+    fingerprint with an XOR reduction, so every rank of a commonly
+    created plan stores the same number.
+    """
+    h = zlib.crc32(mode.encode("utf-8"))
+    for peer in sorted(send_indices):
+        h = zlib.crc32(np.int64(peer).tobytes(), h)
+        h = zlib.crc32(np.ascontiguousarray(send_indices[peer]).tobytes(), h)
+    return h & 0xFFFFFFFF
+
+
+class CommPlan:
+    """One rank's cached assembly pattern.
+
+    Parameters
+    ----------
+    mode:
+        the assembly mode the plan was created under (``insert``/``add``),
+    send_indices:
+        ``{owner rank: sorted unique global indices}`` this rank sends,
+    recv_counts:
+        ``{source rank: number of (index, value) pairs}`` this rank
+        receives in a cached exchange,
+    ctx:
+        the communicator context the plan is bound to,
+    nranks:
+        communicator size at creation (shrink invalidates),
+    fingerprint:
+        globally reduced pattern CRC (0 when created unguarded).
+    """
+
+    __slots__ = ("mode", "send_indices", "recv_counts", "ctx", "nranks",
+                 "fingerprint")
+
+    def __init__(self, mode: str, send_indices: Dict[int, np.ndarray],
+                 recv_counts: Dict[int, int], ctx, nranks: int,
+                 fingerprint: int = 0):
+        self.mode = mode
+        self.send_indices = {
+            int(p): np.asarray(v, dtype=np.int64) for p, v in send_indices.items()
+        }
+        self.recv_counts = {int(p): int(c) for p, c in recv_counts.items()}
+        self.ctx = ctx
+        self.nranks = nranks
+        self.fingerprint = fingerprint
+
+    def covers(self, peer: int, indices: np.ndarray) -> bool:
+        """Do ``indices`` fall inside the recorded pattern for ``peer``?"""
+        recorded = self.send_indices.get(int(peer))
+        if recorded is None:
+            return False
+        return bool(np.isin(indices, recorded).all())
+
+    def conforms(self, stash: Dict[int, List[np.ndarray]], mode: str) -> bool:
+        """May the current stash be shipped through this plan?
+
+        Exact pattern match is always fine; a strict subset only under
+        ``add`` mode (missing entries contribute zero).
+        """
+        if stash and mode != self.mode:
+            return False
+        exact = True
+        for peer, blocks in stash.items():
+            idx = np.concatenate([b[0] for b in blocks]).astype(np.int64)
+            recorded = self.send_indices.get(int(peer))
+            if recorded is None or not np.isin(idx, recorded).all():
+                return False
+            if np.unique(idx).size != recorded.size:
+                exact = False
+        if len(stash) != len(self.send_indices):
+            exact = False
+        return exact or self.mode == "add"
+
+    def aligned_values(self, peer: int,
+                       blocks: List[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+        """The (indices, values) payload of one cached send: the full
+        recorded pattern, with the stashed values placed at their index
+        positions (``add``: accumulated, absents zero; ``insert``: the
+        conforming stash covers every position)."""
+        recorded = self.send_indices[int(peer)]
+        vals = np.zeros(recorded.size, dtype=np.float64)
+        for block in blocks:
+            pos = np.searchsorted(recorded, block[0].astype(np.int64))
+            if self.mode == "add":
+                np.add.at(vals, pos, block[1])
+            else:
+                vals[pos] = block[1]
+        return recorded.astype(np.float64), vals

@@ -162,6 +162,68 @@ class VecScatter:
             recv_map[int(peer)] = dst_layout.to_local(dst_idx[sel], rank)
         return cls(comm, send_map, recv_map, local_pairs)
 
+    @classmethod
+    def from_needed_indices(
+        cls,
+        comm: Comm,
+        src_layout: Layout,
+        dst_layout: Layout,
+        src_global,
+        dst_local,
+    ) -> Generator:
+        """Build a scatter from *one-sided* knowledge (collective).
+
+        Each rank names the global source entries it needs
+        (``src_global``) and where they land in its destination array
+        (``dst_local``); nobody knows who reads *their* entries.  The
+        owners learn their send lists through the NBX sparse exchange
+        (:meth:`repro.mpi.comm.Comm.sparse_alltoall`) instead of
+        replicating index sets on every rank -- the AMR-style "ghosts of
+        cells you don't own" construction, where most rank pairs never
+        talk.  The request payload order defines the matching send/recv
+        order on both sides.
+        """
+        src_global = np.asarray(src_global, dtype=np.int64).reshape(-1)
+        dst_local = np.asarray(dst_local, dtype=np.int64).reshape(-1)
+        rank = comm.rank
+        n_local = dst_layout.local_size(rank)
+        # validation errors are rank-local facts; agree before raising so
+        # every rank leaves together instead of a subset entering the
+        # exchange below and deadlocking (SPMD102)
+        problem = None
+        if src_global.shape != dst_local.shape:
+            problem = (f"needed indices differ in length: "
+                       f"{src_global.size} vs {dst_local.size}")
+        elif dst_local.size and (dst_local.min() < 0
+                                 or dst_local.max() >= n_local):
+            problem = f"destination offset out of range [0, {n_local})"
+        elif src_global.size and (src_global.min() < 0 or src_global.max()
+                                  >= src_layout.global_size):
+            problem = (f"source index out of range "
+                       f"[0, {src_layout.global_size})")
+        flagged = yield from comm.allreduce(problem is not None,
+                                            op=lambda a, b: a or b)
+        if flagged:
+            raise PETScError(
+                f"rank {rank}: invalid from_needed_indices arguments"
+                + (f": {problem}" if problem else " on another rank"))
+        owner = src_layout.owners(src_global)
+        mine = owner == rank
+        local_pairs = (src_layout.to_local(src_global[mine], rank),
+                       dst_local[mine])
+        recv_map: Dict[int, np.ndarray] = {}
+        wants: Dict[int, np.ndarray] = {}
+        for peer in np.unique(owner[~mine]):
+            sel = owner == peer
+            recv_map[int(peer)] = dst_local[sel]
+            wants[int(peer)] = src_global[sel].astype(np.float64)
+        answers = yield from comm.sparse_alltoall(wants)
+        send_map: Dict[int, np.ndarray] = {}
+        for reader, wanted in sorted(answers.items()):
+            send_map[int(reader)] = src_layout.to_local(
+                wanted.astype(np.int64), rank)
+        return cls(comm, send_map, recv_map, local_pairs)
+
     def reversed(self) -> "VecScatter":
         """The transpose pattern: what was received is now sent."""
         return VecScatter(

@@ -67,9 +67,14 @@ CATALOGUE: Dict[str, Tuple[str, str]] = {
     "repro_transfer_messages_total": ("counter", "Messages (wire chunks) moved by the network model"),
     "repro_transfer_bytes_total": ("counter", "Bytes moved by the network model"),
     "repro_wire_seconds_total": ("counter", "Accumulated wire occupancy seconds"),
+    # sparse dynamic data exchange (NBX)
+    "repro_nbx_consensus_rounds": ("histogram", "Event-loop wakeups per rank per NBX sparse exchange"),
     # PETSc / solvers
     "repro_vecscatter_ops_total": ("counter", "VecScatter applications (label: backend)"),
     "repro_vecscatter_bytes_total": ("counter", "Off-rank bytes moved per VecScatter application"),
+    "repro_plan_cache_hits_total": ("counter", "Assembly communication-plan reuses (subset_off_proc_entries)"),
+    "repro_plan_cache_misses_total": ("counter", "Assemblies that discovered a pattern with plan caching enabled"),
+    "repro_plan_cache_invalidations_total": ("counter", "Cached assembly plans dropped (label: reason)"),
     "repro_ksp_iterations_total": ("counter", "KSP solver iterations (label: method)"),
     "repro_snes_iterations_total": ("counter", "SNES Newton iterations"),
     # engine

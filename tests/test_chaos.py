@@ -8,7 +8,8 @@ from repro.faults.chaos import SCENARIOS
 
 def test_scenario_registry_names():
     assert {"fem_lossy", "agv_lossy", "crash_allgatherv", "crash_alltoallw",
-            "checkpoint_restart", "deadlock_diagnosis"} <= set(SCENARIOS)
+            "checkpoint_restart", "deadlock_diagnosis",
+            "assembly_plan_disagree"} <= set(SCENARIOS)
 
 
 def test_chaos_smoke_single_seed():
@@ -28,3 +29,12 @@ def test_chaos_smoke_single_seed():
 def test_chaos_crash_scenario_smoke():
     report = run_chaos(seeds=(1,), nprocs=4, scenarios=("crash_allgatherv",))
     assert report.ok, report.summary()
+
+
+def test_chaos_assembly_plan_disagree_smoke():
+    report = run_chaos(seeds=(2,), nprocs=4,
+                       scenarios=("assembly_plan_disagree",))
+    assert report.ok, report.summary()
+    (run,) = report.runs
+    assert run.metrics["messages_cached"] < run.metrics["messages_plan_free"]
+    assert run.metrics["blocked"] > 0

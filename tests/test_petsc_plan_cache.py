@@ -1,0 +1,278 @@
+"""Tests for cached assembly plans (``VEC_SUBSET_OFF_PROC_ENTRIES``),
+``set_values`` hardening, and one-sided ``VecScatter`` construction."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Cluster, MPIConfig
+from repro.petsc import Layout, PETScError, PlanMismatchError, Vec, VecScatter
+from repro.prof import Profiler
+from repro.util import CostModel
+
+QUIET = CostModel(cpu_noise=0.0)
+
+N = 4
+G = 4 * N  # global vector size
+
+
+def run(body, n=N, return_exceptions=False):
+    cluster = Cluster(n, config=MPIConfig.optimized(), cost=QUIET,
+                      heterogeneous=False)
+    prof = Profiler.attach(cluster)
+    results = cluster.run(body, return_exceptions=return_exceptions)
+    return cluster, prof, results
+
+
+def halo_targets(rank, size):
+    """Each rank contributes to two successors' blocks."""
+    chunk = G // size
+    return np.asarray([((rank + 1) % size) * chunk,
+                       ((rank + 2) % size) * chunk + 1], dtype=np.int64)
+
+
+def assemble_rounds(rounds, subset=True, guard=True, mode="add",
+                    grow_rank=None, grow_from=10**9):
+    def main(comm):
+        v = Vec(comm, Layout(comm.size, G))
+        if subset:
+            v.set_option("subset_off_proc_entries", guard=guard)
+        for rnd in range(rounds):
+            idx = halo_targets(comm.rank, comm.size)
+            if comm.rank == grow_rank and rnd >= grow_from:
+                extra = ((comm.rank + 3) % comm.size) * (G // comm.size) + 2
+                idx = np.append(idx, extra)
+            v.set_values(idx, np.full(idx.size, float(comm.rank + rnd + 1)),
+                         mode=mode)
+            yield from v.assemble()
+        return v.local.copy()
+    return main
+
+
+def test_cache_hits_misses_and_byte_identity():
+    _, prof, cached = run(assemble_rounds(3))
+    assert prof.metrics.counter("repro_plan_cache_misses_total").total == N
+    assert prof.metrics.counter("repro_plan_cache_hits_total").total == 2 * N
+    assert prof.metrics.counter(
+        "repro_plan_cache_invalidations_total").total == 0
+    _, _, plain = run(assemble_rounds(3, subset=False))
+    for a, b in zip(cached, plain):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_cached_assembly_sends_fewer_messages():
+    cached_cluster, _, _ = run(assemble_rounds(6))
+    plain_cluster, _, _ = run(assemble_rounds(6, subset=False))
+    assert (cached_cluster.net.messages_on_wire
+            < plain_cluster.net.messages_on_wire)
+
+
+def test_subset_reuse_under_add_mode():
+    """Omitting a peer in a later round is a legal subset under add."""
+    def main(comm):
+        v = Vec(comm, Layout(comm.size, G))
+        v.set_option("subset_off_proc_entries")
+        idx = halo_targets(comm.rank, comm.size)
+        v.set_values(idx, np.full(idx.size, 1.0), mode="add")
+        yield from v.assemble()
+        v.set_values(idx[:1], np.asarray([2.0]), mode="add")  # strict subset
+        yield from v.assemble()
+        return v.local.copy()
+
+    _, prof, results = run(main)
+    assert prof.metrics.counter("repro_plan_cache_hits_total").total == N
+
+    def plain(comm):
+        v = Vec(comm, Layout(comm.size, G))
+        idx = halo_targets(comm.rank, comm.size)
+        v.set_values(idx, np.full(idx.size, 1.0), mode="add")
+        yield from v.assemble()
+        v.set_values(idx[:1], np.asarray([2.0]), mode="add")
+        yield from v.assemble()
+        return v.local.copy()
+
+    _, _, want = run(plain)
+    for a, b in zip(results, want):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_insert_mode_requires_exact_pattern():
+    """A strict subset under insert breaks the promise -- uniformly."""
+    def main(comm):
+        v = Vec(comm, Layout(comm.size, G))
+        v.set_option("subset_off_proc_entries")
+        idx = halo_targets(comm.rank, comm.size)
+        v.set_values(idx, np.full(idx.size, 1.0), mode="insert")
+        yield from v.assemble()
+        v.set_values(idx[:1], np.asarray([2.0]), mode="insert")
+        yield from v.assemble()
+
+    _, _, outcomes = run(main, return_exceptions=True)
+    for out in outcomes:
+        assert isinstance(out, PlanMismatchError)
+
+
+def test_uniform_pattern_growth_rediscovers():
+    """When *every* rank outgrows its plan the same way, eager
+    invalidation empties all caches and assembly falls back to uniform
+    rediscovery -- no error, fresh plan, correct values."""
+    def main(comm):
+        v = Vec(comm, Layout(comm.size, G))
+        v.set_option("subset_off_proc_entries")
+        idx = halo_targets(comm.rank, comm.size)
+        v.set_values(idx, np.full(idx.size, 1.0), mode="add")
+        yield from v.assemble()
+        grown = np.append(idx, ((comm.rank + 3) % comm.size)
+                          * (G // comm.size) + 2)
+        v.set_values(grown, np.full(grown.size, 1.0), mode="add")
+        yield from v.assemble()  # rediscovers, records the grown plan
+        v.set_values(grown, np.full(grown.size, 1.0), mode="add")
+        yield from v.assemble()  # cached again
+        return v.local.copy()
+
+    _, prof, _ = run(main)
+    inval = prof.metrics.counter("repro_plan_cache_invalidations_total")
+    assert inval.value(labels={"reason": "pattern"}) == N
+    assert prof.metrics.counter("repro_plan_cache_misses_total").total == 2 * N
+    assert prof.metrics.counter("repro_plan_cache_hits_total").total == N
+
+
+def test_mode_change_invalidates():
+    def main(comm):
+        v = Vec(comm, Layout(comm.size, G))
+        v.set_option("subset_off_proc_entries")
+        idx = halo_targets(comm.rank, comm.size)
+        v.set_values(idx, np.full(idx.size, 1.0), mode="add")
+        yield from v.assemble()
+        v.set_values(idx, np.full(idx.size, 2.0), mode="insert")
+        yield from v.assemble()
+        return True
+
+    _, prof, _ = run(main)
+    inval = prof.metrics.counter("repro_plan_cache_invalidations_total")
+    assert inval.value(labels={"reason": "mode"}) == N
+
+
+def test_single_rank_divergence_raises_uniformly():
+    _, prof, outcomes = run(
+        assemble_rounds(3, grow_rank=1, grow_from=1),
+        return_exceptions=True)
+    for rank, out in enumerate(outcomes):
+        assert isinstance(out, PlanMismatchError), (rank, out)
+    inval = prof.metrics.counter("repro_plan_cache_invalidations_total")
+    assert inval.value(labels={"reason": "pattern"}) == 1   # the grower
+    assert inval.value(labels={"reason": "disagree"}) == N - 1
+
+
+def test_communicator_change_invalidates():
+    def main(comm):
+        v = Vec(comm, Layout(comm.size, G))
+        v.set_option("subset_off_proc_entries")
+        idx = halo_targets(comm.rank, comm.size)
+        v.set_values(idx, np.full(idx.size, 1.0), mode="add")
+        yield from v.assemble()
+        v.comm = comm.dup()  # a migrated vector must not replay the plan
+        v.set_values(idx, np.full(idx.size, 1.0), mode="add")
+        yield from v.assemble()
+        return v.local.copy()
+
+    _, prof, _ = run(main)
+    inval = prof.metrics.counter("repro_plan_cache_invalidations_total")
+    assert inval.value(labels={"reason": "communicator"}) == N
+
+
+def test_clearing_the_option_drops_the_plan():
+    def main(comm):
+        v = Vec(comm, Layout(comm.size, G))
+        v.set_option("subset_off_proc_entries")
+        idx = halo_targets(comm.rank, comm.size)
+        v.set_values(idx, np.full(idx.size, 1.0), mode="add")
+        yield from v.assemble()
+        had = v._plan is not None
+        v.set_option("subset_off_proc_entries", value=False)
+        return had, v._plan is None
+
+    _, _, results = run(main)
+    assert all(had and cleared for had, cleared in results)
+
+
+def test_set_option_unknown_name_raises():
+    def main(comm):
+        v = Vec(comm, Layout(comm.size, G))
+        v.set_option("never_heard_of_it")
+        yield from v.assemble()
+
+    with pytest.raises(PETScError, match="unknown vector option"):
+        run(main)
+
+
+@pytest.mark.parametrize("indices,values,mode,match", [
+    ([1], [1.0], "multiply", "unknown assembly mode"),
+    ([1, 2], [1.0], "insert", "2 indices but 1 values"),
+    ([G + 5], [1.0], "insert", "out of range"),
+    ([-1], [1.0], "insert", "out of range"),
+    ([1], [float("nan")], "insert", "NaN value"),
+])
+def test_set_values_hardening(indices, values, mode, match):
+    def main(comm):
+        v = Vec(comm, Layout(comm.size, G))
+        v.set_values(np.asarray(indices), np.asarray(values), mode=mode)
+        yield from v.assemble()
+
+    with pytest.raises(PETScError, match=match):
+        run(main, n=2)
+
+
+def test_set_values_mixed_modes_rejected_locally():
+    def main(comm):
+        v = Vec(comm, Layout(comm.size, G))
+        v.set_values(np.asarray([1]), np.asarray([1.0]), mode="insert")
+        v.set_values(np.asarray([2]), np.asarray([2.0]), mode="add")
+        yield from v.assemble()
+
+    with pytest.raises(PETScError, match="mixed assembly modes"):
+        run(main, n=2)
+
+
+def test_from_needed_indices_matches_two_sided_construction():
+    """One-sided construction (NBX-discovered send lists) moves the same
+    bytes as a scatter built from replicated index sets."""
+    per = G // N
+
+    def main(comm):
+        src_layout = Layout(comm.size, G)
+        dst_layout = Layout(comm.size, G)
+        # each rank reads its successor's block, reversed
+        base = ((comm.rank + 1) % comm.size) * per
+        src_global = np.arange(base, base + per, dtype=np.int64)[::-1]
+        dst_local = np.arange(per, dtype=np.int64)
+        sc = yield from VecScatter.from_needed_indices(
+            comm, src_layout, dst_layout, src_global, dst_local)
+        src = Vec(comm, src_layout,
+                  np.arange(per, dtype=np.float64) + 100 * comm.rank)
+        dst = Vec(comm, dst_layout)
+        yield from sc.scatter(src, dst)
+        return dst.local.copy()
+
+    _, _, results = run(main)
+    for rank, got in enumerate(results):
+        succ = (rank + 1) % N
+        want = (np.arange(per, dtype=np.float64) + 100 * succ)[::-1]
+        np.testing.assert_array_equal(got[:per], want)
+
+
+def test_from_needed_indices_invalid_args_raise_everywhere():
+    """A bad argument on one rank raises on *every* rank (lockstep)."""
+    def main(comm):
+        layout = Layout(comm.size, G)
+        if comm.rank == 1:
+            src_global = np.asarray([G + 7], dtype=np.int64)  # out of range
+        else:
+            src_global = np.asarray([0], dtype=np.int64)
+        dst_local = np.zeros(1, dtype=np.int64)
+        yield from VecScatter.from_needed_indices(
+            comm, layout, layout, src_global, dst_local)
+
+    _, _, outcomes = run(main, return_exceptions=True)
+    for out in outcomes:
+        assert isinstance(out, PETScError)
+        assert "from_needed_indices" in str(out)
